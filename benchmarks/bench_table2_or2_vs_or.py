@@ -1,0 +1,94 @@
+"""Table 2: ObjectRank2 vs (modified) ObjectRank precision of the top 10.
+
+Paper setup: seven DBLP keyword queries (single and multi keyword); precision
+of the top-10 judged by users.  ObjectRank uses the Equation 16 modification
+(per-keyword scores combined with the normalizing exponent g(t) =
+1/log|S(t)|) to avoid popular-keyword skew.  Paper result: ObjectRank2 is
+"slightly better" — average 7.7 vs 7.5 — with the gap expected to grow on
+longer text.
+
+Our substitution: the paper's human judges become a topical oracle — the
+synthetic generator labels every paper with its topic, and a retrieved paper
+counts as relevant when its topic matches the query's topic.  The shape to
+reproduce: ObjectRank2 >= ObjectRank on average, with the visible gap on
+multi-keyword queries (the weighted base set balances keywords; the 0/1 one
+cannot).
+"""
+
+from repro.bench import format_table
+from repro.query import KeywordQuery
+from repro.ranking import multi_keyword_objectrank, objectrank2
+
+from benchmarks.conftest import write_result
+
+# (query text, relevant topics, paper's OR2/OR precision out of 10)
+QUERIES = [
+    ("olap", {"olap"}, (10, 9)),
+    ("query optimization", {"optimization"}, (10, 10)),
+    ("xml", {"xml"}, (10, 10)),
+    ("mining", {"mining"}, (10, 10)),
+    ("proximity search", {"search"}, (10, 10)),
+    ("xml indexing", {"xml", "indexing"}, (9, 8)),
+    ("ranked search", {"search"}, (9, 10)),
+]
+TOP_K = 10
+
+
+def run_comparison(dataset):
+    from repro.query import SearchEngine
+
+    engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+    topics = dataset.extras["paper_topics"]
+
+    def topical_precision(ranking, relevant_topics):
+        papers = [nid for nid in ranking if nid in topics][:TOP_K]
+        hits = sum(1 for nid in papers if topics[nid] in relevant_topics)
+        return hits / TOP_K
+
+    rows = []
+    for text, relevant_topics, _paper in QUERIES:
+        query = KeywordQuery.parse(text)
+        modern = objectrank2(engine.graph, engine.scorer, query.vector())
+        classic = multi_keyword_objectrank(engine.graph, engine.index, query.keywords)
+        rows.append(
+            (
+                text,
+                topical_precision(modern.ranking(), relevant_topics),
+                topical_precision(classic.ranking(), relevant_topics),
+            )
+        )
+    return rows
+
+
+def test_table2_objectrank2_vs_objectrank(benchmark, dblp_top):
+    rows = benchmark.pedantic(run_comparison, args=(dblp_top,), rounds=1, iterations=1)
+
+    display = []
+    for (text, _topics, (paper_or2, paper_or)), (_, ours_or2, ours_or) in zip(
+        QUERIES, rows
+    ):
+        display.append(
+            (
+                text,
+                f"{paper_or2}/10",
+                f"{paper_or}/10",
+                f"{ours_or2 * 10:.0f}/10",
+                f"{ours_or * 10:.0f}/10",
+            )
+        )
+    mean_or2 = sum(r[1] for r in rows) / len(rows)
+    mean_or = sum(r[2] for r in rows) / len(rows)
+    display.append(("AVERAGE", "7.7/10", "7.5/10",
+                    f"{mean_or2 * 10:.1f}/10", f"{mean_or * 10:.1f}/10"))
+    table = format_table(
+        ["query", "paper OR2", "paper OR", "ours OR2", "ours OR"],
+        display,
+        title="Table 2: ObjectRank2 vs ObjectRank, precision of top-10",
+    )
+    write_result("table2_or2_vs_or", table)
+
+    # Shape: ObjectRank2 at least matches ObjectRank on average.
+    assert mean_or2 >= mean_or - 1e-9
+    # And never collapses on any individual query where ObjectRank works.
+    for _text, ours_or2, ours_or in rows:
+        assert ours_or2 >= ours_or - 0.21  # allow 2 results of slack per query

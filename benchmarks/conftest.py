@@ -1,0 +1,53 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+both printed (run with ``pytest benchmarks/ --benchmark-only -s`` to see them
+live) and written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+quote them.
+
+Dataset scale: the ``REPRO_BENCH_SCALE`` environment variable (default 1.0)
+multiplies every dataset size, letting the harness run anywhere from laptop
+to workstation scale.  At scale 1.0 the four Table 1 datasets hold roughly
+40k/4k/25k/3k nodes — the paper's relative proportions at laptop size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def dblp_complete():
+    return load_dataset("dblp_complete", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def dblp_top():
+    return load_dataset("dblp_top", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ds7():
+    return load_dataset("ds7", scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def ds7_cancer():
+    return load_dataset("ds7_cancer", scale=BENCH_SCALE, seed=BENCH_SEED)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bibliographic search with relevance feedback on a synthetic DBLP corpus.
+
+Plays the paper's internal-survey scenario (Section 6.1.1): a researcher
+searches a bibliographic database, marks relevant results, and the system
+learns — both new query terms and better authority transfer rates — across
+feedback iterations.  Precision is scored by a simulated expert whose hidden
+relevance model uses the [BHP04] ground-truth rates.
+
+Usage:  python examples/bibliographic_search.py [query ...]
+        (default query: "olap warehouse")
+"""
+
+import sys
+
+from repro import ObjectRankSystem, SystemConfig
+from repro.datasets import load_dataset
+from repro.feedback import ResidualCollection, SimulatedUser
+from repro.graph import AuthorityTransferSchemaGraph
+from repro.query import SearchEngine
+
+
+def main() -> None:
+    query = " ".join(sys.argv[1:]) or "olap warehouse"
+    print(f"Loading synthetic DBLP dataset (dblp_tiny) ... query = {query!r}")
+    dataset = load_dataset("dblp_tiny")
+
+    # The session starts from *untrained* uniform rates, like the survey.
+    flat_rates = AuthorityTransferSchemaGraph(dataset.schema, default_rate=0.3)
+    engine = SearchEngine(dataset.data_graph, flat_rates)
+    user = SimulatedUser(engine, dataset.ground_truth_rates, relevance_depth=40)
+    system = ObjectRankSystem(
+        dataset.data_graph,
+        flat_rates,
+        SystemConfig.structure_only(top_k=10),
+        engine=engine,
+    )
+
+    residual = ResidualCollection()
+    result = system.query(query)
+    for iteration in range(4):
+        presented = residual.present(result.ranked.ranking(), 10)
+        marked = user.judge(presented, query)
+        precision = len(marked) / 10
+        print(f"\n--- iteration {iteration} (precision@10 = {precision:.2f}) ---")
+        for node_id in presented[:5]:
+            node = dataset.data_graph.node(node_id)
+            title = node.attributes.get("title", node_id)
+            flag = "*" if node_id in marked else " "
+            print(f"  {flag} {node.label}: {title[:64]}")
+        residual.mark_seen(presented)
+        if not marked:
+            print("  (no relevant results presented; keeping query unchanged)")
+        outcome = system.feedback(marked)
+        result = outcome.result
+        print(
+            f"  reformulated: {len(outcome.explanations)} explanations, "
+            f"ObjectRank2 re-ran in {result.iterations} iterations (warm start)"
+        )
+
+    print("\nLearned transfer rates vs. expert ground truth:")
+    from repro.datasets import dblp_edge_order
+    from repro.feedback import cosine_similarity
+
+    order = dblp_edge_order(dataset.schema)
+    learned = system.current_rates.as_vector(order)
+    truth = dataset.ground_truth_rates.as_vector(order)
+    names = ["PP", "PPb", "PA", "AP", "CY", "YC", "YP", "PY"]
+    for name, l, t in zip(names, learned, truth):
+        print(f"  {name}: learned {l:.3f}   expert {t:.3f}")
+    print(f"  cosine similarity: {cosine_similarity(learned, truth):.4f}")
+
+
+if __name__ == "__main__":
+    main()

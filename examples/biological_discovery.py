@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Biological discovery: explaining non-obvious query answers.
+
+The paper motivates explanation with biological databases, "where objects
+(e.g., a protein) with no obvious connection to the query (e.g., gene 'TNF')
+are returned."  This example runs a disease-keyword query over a synthetic
+Figure-4-style graph (Entrez Gene/Protein/Nucleotide, PubMed, OMIM), surfaces
+the top *non-publication* entities — which typically do not contain the
+keyword at all — and prints the explaining subgraph showing the chain of
+authority that connected them to the query.
+
+Usage:  python examples/biological_discovery.py [keyword]
+        (default keyword: "cancer")
+"""
+
+import sys
+
+from repro import ObjectRankSystem, SystemConfig
+from repro.datasets import keyword_subset, load_dataset
+from repro.explain import to_dot, to_text
+
+
+def main() -> None:
+    keyword = sys.argv[1] if len(sys.argv) > 1 else "cancer"
+    print(f"Loading synthetic biological dataset (bio_tiny) ... keyword = {keyword!r}")
+    dataset = load_dataset("bio_tiny")
+    system = ObjectRankSystem(
+        dataset.data_graph, dataset.transfer_schema, SystemConfig(top_k=30)
+    )
+
+    result = system.query(keyword)
+    print(f"\nTop entities for {keyword!r} (ObjectRank2, {result.iterations} iters):")
+    interesting = None
+    shown = 0
+    for node_id, score in result.top:
+        node = dataset.data_graph.node(node_id)
+        contains = keyword.lower() in node.text().lower()
+        if shown < 8:
+            name = node.attributes.get("title") or node.attributes.get(
+                "symbol", node_id
+            )
+            marker = " " if contains else "!"  # ! = keyword NOT in the object
+            print(f"  {marker} [{score:.4f}] {node.label}: {name[:58]}")
+            shown += 1
+        if interesting is None and not contains and node.label != "PubMed":
+            interesting = node_id
+    print("  ('!' marks objects that do not contain the keyword)")
+
+    if interesting is None:
+        print("\nEvery top entity contains the keyword; nothing to explain.")
+        return
+
+    node = dataset.data_graph.node(interesting)
+    print(f"\nWhy is {node.label} {interesting!r} relevant to {keyword!r}?")
+    explanation = system.explain(interesting)
+    print(to_text(explanation, max_paths=5))
+
+    dot_path = "biological_explanation.dot"
+    with open(dot_path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(explanation, min_flow=0.0))
+    print(f"\nGraphviz rendering written to {dot_path} (dot -Tpng -O {dot_path})")
+
+    print(f"\nDeriving the focused '{keyword}' subset (the DS7cancer recipe):")
+    subset = keyword_subset(dataset, keyword, hops=1, seed_labels=("PubMed",))
+    print(
+        f"  {subset.name}: {subset.num_nodes} nodes, {subset.num_edges} edges "
+        f"(from {dataset.num_nodes}/{dataset.num_edges})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Implicit and active feedback: the paper's Section 5 side notes, working.
+
+Two extensions the paper sketches but does not evaluate:
+
+* "the user's click-through could be used to implicitly derive such
+  markings" — we simulate a position-biased clicker browsing result pages,
+  convert the click log into feedback objects, and reformulate from them;
+* active feedback [SZ05] — instead of reformulating from whatever the user
+  clicked, the system *chooses* diverse feedback candidates (by the edge-type
+  profiles of their explaining subgraphs) to learn the transfer rates faster.
+
+Usage:  python examples/implicit_feedback.py
+"""
+
+from repro.core import ObjectRankSystem, SystemConfig
+from repro.datasets import dblp_edge_order, load_dataset
+from repro.feedback import (
+    ActiveFeedbackSelector,
+    ClickLog,
+    SimulatedClicker,
+    SimulatedUser,
+    cosine_similarity,
+    implicit_feedback,
+)
+from repro.graph import AuthorityTransferSchemaGraph
+from repro.query import SearchEngine
+
+
+def main() -> None:
+    dataset = load_dataset("dblp_tiny")
+    flat = AuthorityTransferSchemaGraph(dataset.schema, default_rate=0.3)
+    engine = SearchEngine(dataset.data_graph, flat)
+    oracle = SimulatedUser(engine, dataset.ground_truth_rates, relevance_depth=40)
+    order = dblp_edge_order(dataset.schema)
+    truth = dataset.ground_truth_rates.as_vector(order)
+
+    print("=== 1. Click-through as implicit feedback ===")
+    system = ObjectRankSystem(
+        dataset.data_graph, flat, SystemConfig.structure_only(top_k=10), engine=engine
+    )
+    result = system.query("olap")
+    clicker = SimulatedClicker(oracle.relevant_set("olap"), seed=1)
+    log = ClickLog()
+    for browse_round in range(3):
+        clicker.browse(result.hit_ids(), log)
+    marks = implicit_feedback(log, threshold=0.3, limit=3)
+    print(f"  clicks: {len(log.clicks)}, implied feedback objects: {marks}")
+    outcome = system.feedback(marks)
+    learned = system.current_rates.as_vector(order)
+    print(f"  cosine to expert rates after one implicit round: "
+          f"{cosine_similarity(learned, truth):.4f} "
+          f"(untrained: {cosine_similarity(flat.as_vector(order), truth):.4f})")
+
+    print("\n=== 2. Active feedback: choosing which marks to learn from ===")
+
+    def train(strategy: str, rounds: int = 4) -> list[float]:
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.structure_only(top_k=10),
+            engine=engine,
+        )
+        result = system.query("olap")
+        seen: set[str] = set()
+        curve = []
+        for _ in range(rounds):
+            presented = [n for n in result.ranked.ranking() if n not in seen][:10]
+            seen.update(presented)
+            marked = oracle.judge(presented, "olap")
+            if strategy == "active" and len(marked) > 3:
+                selector = ActiveFeedbackSelector()
+                candidates = [(nid, system.explain(nid)) for nid in marked]
+                marked = selector.select(candidates, 3)
+            elif strategy == "top3":
+                marked = marked[:3]
+            result = system.feedback(marked).result
+            curve.append(
+                cosine_similarity(system.current_rates.as_vector(order), truth)
+            )
+        return curve
+
+    top3 = train("top3")
+    active = train("active")
+    print(f"  top-3 marks per round:    {[round(s, 3) for s in top3]}")
+    print(f"  diverse (active) marks:   {[round(s, 3) for s in active]}")
+    print(
+        "  Honest finding: for *rate learning* the top-ranked relevant papers"
+        " beat profile-diverse\n  selections — diversity pulls in structural"
+        " hubs (years, venues) whose flow profiles\n  drag the rates away"
+        " from the citation-dominated ground truth.  Active selection is\n"
+        "  a tool for exploring under-observed edge types, not a free win."
+    )
+
+
+if __name__ == "__main__":
+    main()

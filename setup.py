@@ -1,0 +1,10 @@
+"""Legacy setup shim for offline environments lacking the `wheel` package.
+
+`pip install -e .` uses pyproject.toml when the build chain is available;
+`python setup.py develop` works everywhere.  The entry point is duplicated
+here because the legacy path does not read [project.scripts].
+"""
+
+from setuptools import setup
+
+setup(entry_points={"console_scripts": ["repro = repro.cli:main"]})

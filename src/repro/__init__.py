@@ -1,0 +1,52 @@
+"""repro: a reproduction of "Explaining and Reformulating Authority Flow
+Queries" (Varadarajan, Hristidis, Raschid — ICDE 2008).
+
+The library implements, from scratch:
+
+* **ObjectRank2** — authority-flow keyword ranking over typed data graphs
+  with an IR-weighted (BM25) base set (:mod:`repro.ranking`);
+* **result explanation** — explaining subgraphs with the iterative
+  flow-adjustment fixpoint (:mod:`repro.explain`);
+* **query reformulation from relevance feedback** — content-based term
+  expansion and structure-based authority-transfer-rate learning
+  (:mod:`repro.reformulate`), with the survey/training harness of the
+  paper's evaluation (:mod:`repro.feedback`);
+* every substrate those need: typed graphs (:mod:`repro.graph`), an IR
+  engine (:mod:`repro.ir`), a mini relational store (:mod:`repro.storage`),
+  PageRank-family baselines, and synthetic DBLP/biological datasets
+  (:mod:`repro.datasets`).
+
+Quickstart::
+
+    from repro import ObjectRankSystem, SystemConfig, load_dataset
+
+    dataset = load_dataset("dblp_tiny")
+    system = ObjectRankSystem(dataset.data_graph, dataset.transfer_schema)
+    result = system.query("olap cube")
+    explanation = system.explain(result.top[0][0])
+    outcome = system.feedback([result.top[0][0]])
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.system import FeedbackOutcome, ObjectRankSystem
+from repro.datasets.registry import load_dataset
+from repro.errors import ReproError
+from repro.explain import explain
+from repro.query.engine import SearchEngine, SearchResult
+from repro.query.query import KeywordQuery, QueryVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FeedbackOutcome",
+    "KeywordQuery",
+    "ObjectRankSystem",
+    "QueryVector",
+    "ReproError",
+    "SearchEngine",
+    "SearchResult",
+    "SystemConfig",
+    "__version__",
+    "explain",
+    "load_dataset",
+]

@@ -1,0 +1,33 @@
+"""Timing, reporting and workload helpers shared by the benchmark harness."""
+
+from repro.bench.ascii_plot import ascii_chart
+from repro.bench.report import collect_report, write_report
+from repro.bench.reporting import format_series, format_table, percent
+from repro.bench.workload import WorkloadGenerator, WorkloadQuery
+from repro.bench.timing import (
+    ALL_STAGES,
+    STAGE_ADJUST,
+    STAGE_REFORMULATE,
+    STAGE_SEARCH,
+    STAGE_SUBGRAPH,
+    IterationTiming,
+    StageClock,
+)
+
+__all__ = [
+    "ALL_STAGES",
+    "IterationTiming",
+    "STAGE_ADJUST",
+    "STAGE_REFORMULATE",
+    "STAGE_SEARCH",
+    "STAGE_SUBGRAPH",
+    "StageClock",
+    "WorkloadGenerator",
+    "WorkloadQuery",
+    "ascii_chart",
+    "collect_report",
+    "format_series",
+    "format_table",
+    "percent",
+    "write_report",
+]

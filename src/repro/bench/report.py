@@ -1,0 +1,73 @@
+"""Collecting benchmark results into one report.
+
+Every benchmark writes its table/series to ``benchmarks/results/<name>.txt``;
+:func:`collect_report` stitches those files into a single markdown document
+(used to refresh the measured numbers quoted in EXPERIMENTS.md after a run
+on new hardware or at a different scale).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+# Paper experiments first, in the paper's order; extensions after.
+_SECTION_ORDER = (
+    ("table1_datasets", "Table 1 — datasets"),
+    ("fig10_internal_survey", "Figure 10 — internal survey"),
+    ("fig11_training", "Figure 11 — rate training"),
+    ("table2_or2_vs_or", "Table 2 — ObjectRank2 vs ObjectRank"),
+    ("fig12_external_survey", "Figure 12 — external survey"),
+    ("fig13_external_training", "Figure 13 — external training"),
+    ("fig14_dblp_complete", "Figure 14 — DBLPcomplete performance"),
+    ("fig15_dblp_top", "Figure 15 — DBLPtop performance"),
+    ("fig16_ds7", "Figure 16 — DS7 performance"),
+    ("fig17_ds7_cancer", "Figure 17 — DS7cancer performance"),
+    ("table3_explain_iterations", "Table 3 — explaining iterations"),
+    ("ablation_warm_start", "Ablation — warm vs cold start"),
+    ("ablation_radius", "Ablation — radius L"),
+    ("ablation_damping", "Ablation — damping factor"),
+    ("ablation_base_weighting", "Ablation — base-set weighting"),
+    ("ablation_aggregation", "Ablation — aggregation functions"),
+    ("focused_execution", "Extension — focused execution"),
+    ("rocchio_baseline", "Extension — Rocchio baseline"),
+    ("scalability", "Extension — scalability sweep"),
+)
+
+
+def collect_report(
+    results_dir: str | Path, title: str = "Benchmark results"
+) -> str:
+    """One markdown document from every result file present.
+
+    Known result names appear in the paper's order with descriptive
+    headings; unknown files (new benchmarks) are appended alphabetically so
+    nothing silently disappears from the report.
+    """
+    directory = Path(results_dir)
+    known = dict(_SECTION_ORDER)
+    sections: list[str] = [f"# {title}", ""]
+    seen: set[str] = set()
+
+    for name, heading in _SECTION_ORDER:
+        path = directory / f"{name}.txt"
+        if not path.exists():
+            continue
+        seen.add(path.name)
+        sections.extend([f"## {heading}", "", "```", path.read_text().rstrip(), "```", ""])
+
+    for path in sorted(directory.glob("*.txt")):
+        if path.name in seen:
+            continue
+        heading = path.stem.replace("_", " ")
+        sections.extend([f"## {heading}", "", "```", path.read_text().rstrip(), "```", ""])
+
+    if len(sections) == 2:
+        sections.append("(no result files found — run the benchmark harness first)")
+    return "\n".join(sections)
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path, title: str = "Benchmark results"
+) -> None:
+    """Write :func:`collect_report` output to ``output``."""
+    Path(output).write_text(collect_report(results_dir, title), encoding="utf-8")

@@ -1,0 +1,40 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper; these helpers
+print them in a uniform, diff-friendly format so EXPERIMENTS.md can quote the
+output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    points = "  ".join(f"{x}={y:.4g}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def percent(value: float) -> str:
+    """Format a 0-1 fraction as a percentage string, e.g. 0.4567 -> "45.67%"."""
+    return f"{100.0 * value:.2f}%"

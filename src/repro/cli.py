@@ -1,0 +1,189 @@
+"""Command-line interface: search, explain and reformulate from a terminal.
+
+The paper's system shipped as a Web demo; this CLI is the library's
+equivalent surface.  Subcommands:
+
+* ``repro datasets`` — list the generatable datasets and their sizes;
+* ``repro search <dataset> <keywords...>`` — top-k ObjectRank2 results;
+* ``repro explain <dataset> <target-substring> <keywords...>`` — explaining
+  subgraph of the first result whose id or title matches the substring;
+* ``repro feedback <dataset> <keywords...> --mark N [N...]`` — mark results
+  by rank, reformulate, and show the reformulated ranking and learned rates;
+* ``repro repl <dataset>`` — interactive search/explain/feedback shell.
+
+All subcommands accept ``--scale`` and ``--seed`` for the dataset generator
+and ``--top-k`` for the result-list length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.system import ObjectRankSystem
+from repro.datasets import dataset_names, dataset_statistics, load_dataset
+from repro.errors import ReproError
+from repro.explain.render import to_text
+
+
+def _build_system(args: argparse.Namespace) -> tuple:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    system = ObjectRankSystem(
+        dataset.data_graph,
+        dataset.transfer_schema,
+        SystemConfig(top_k=args.top_k),
+    )
+    return dataset, system
+
+
+def _caption(dataset, node_id: str) -> str:
+    node = dataset.data_graph.node(node_id)
+    name = (
+        node.attributes.get("title")
+        or node.attributes.get("name")
+        or node.attributes.get("symbol")
+        or node_id
+    )
+    return f"{node.label}: {name[:70]}"
+
+
+def _print_results(dataset, result) -> None:
+    for rank, (node_id, score) in enumerate(result.top, start=1):
+        print(f"{rank:3d}. [{score:.5f}] {_caption(dataset, node_id)}")
+    print(f"({result.iterations} ObjectRank2 iterations)")
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """The ``repro datasets`` subcommand."""
+    for name in dataset_names():
+        if args.sizes:
+            stats = dataset_statistics(load_dataset(name, args.scale, args.seed))
+            print(f"{name}: {stats.num_nodes} nodes, {stats.num_edges} edges")
+        else:
+            print(name)
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """The ``repro search`` subcommand."""
+    dataset, system = _build_system(args)
+    result = system.query(" ".join(args.keywords))
+    _print_results(dataset, result)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """The ``repro explain`` subcommand."""
+    dataset, system = _build_system(args)
+    result = system.query(" ".join(args.keywords))
+    target = None
+    needle = args.target.lower()
+    for node_id, _score in result.top:
+        if needle in node_id.lower() or needle in _caption(dataset, node_id).lower():
+            target = node_id
+            break
+    if target is None:
+        print(f"no top-{args.top_k} result matches {args.target!r}", file=sys.stderr)
+        return 1
+    explanation = system.explain(target)
+    print(to_text(explanation, max_paths=args.paths))
+    return 0
+
+
+def cmd_feedback(args: argparse.Namespace) -> int:
+    """The ``repro feedback`` subcommand."""
+    dataset, system = _build_system(args)
+    result = system.query(" ".join(args.keywords))
+    print("initial results:")
+    _print_results(dataset, result)
+    try:
+        marked = [result.top[rank - 1][0] for rank in args.mark]
+    except IndexError:
+        print(f"--mark ranks must be within the top {len(result.top)}", file=sys.stderr)
+        return 1
+    outcome = system.feedback(marked)
+    print(f"\nmarked relevant: {', '.join(marked)}")
+    print("reformulated query vector:")
+    vector = outcome.reformulated.query_vector
+    for term in vector.terms:
+        print(f"  {term}: {vector.weight(term):.3f}")
+    print("learned transfer rates:")
+    schema = outcome.reformulated.transfer_schema
+    for edge_type in schema.edge_types():
+        print(f"  {edge_type}: {schema.rate(edge_type):.3f}")
+    print("\nreformulated results:")
+    _print_results(dataset, outcome.result)
+    return 0
+
+
+def cmd_repl(args: argparse.Namespace) -> int:
+    """The ``repro repl`` subcommand."""
+    import sys as _sys
+
+    from repro.repl import run_repl
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return run_repl(dataset, _sys.stdin, config=SystemConfig(top_k=args.top_k))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ObjectRank2 search, explanation and reformulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="list generatable datasets")
+    datasets.add_argument("--sizes", action="store_true", help="generate and show sizes")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=7)
+    datasets.set_defaults(func=cmd_datasets)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("dataset", help="a name from `repro datasets`")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--top-k", type=int, default=10)
+
+    search = sub.add_parser("search", help="run an ObjectRank2 query")
+    common(search)
+    search.add_argument("keywords", nargs="+")
+    search.set_defaults(func=cmd_search)
+
+    explain = sub.add_parser("explain", help="explain one result of a query")
+    common(explain)
+    explain.add_argument("target", help="substring of the result id or title")
+    explain.add_argument("keywords", nargs="+")
+    explain.add_argument("--paths", type=int, default=5)
+    explain.set_defaults(func=cmd_explain)
+
+    feedback = sub.add_parser("feedback", help="mark results and reformulate")
+    common(feedback)
+    feedback.add_argument("keywords", nargs="+")
+    feedback.add_argument(
+        "--mark", type=int, nargs="+", required=True, help="1-based ranks to mark"
+    )
+    feedback.set_defaults(func=cmd_feedback)
+
+    repl = sub.add_parser("repl", help="interactive search/explain/feedback shell")
+    common(repl)
+    repl.set_defaults(func=cmd_repl)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The paper's contribution surface: configuration and the full
+query / explain / reformulate system facade."""
+
+from repro.core.config import DEFAULT_RADIUS, SystemConfig
+from repro.core.session_io import restore_session, save_session, session_state
+from repro.core.system import FeedbackOutcome, ObjectRankSystem
+
+__all__ = [
+    "DEFAULT_RADIUS",
+    "FeedbackOutcome",
+    "ObjectRankSystem",
+    "SystemConfig",
+    "restore_session",
+    "save_session",
+    "session_state",
+]

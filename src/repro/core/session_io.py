@@ -1,0 +1,60 @@
+"""Saving and restoring feedback-session state.
+
+A personalization session is valuable state: the learned authority transfer
+rates and the expanded query vector represent real user effort (the paper's
+whole point is accumulating it).  This module persists that state as JSON so
+a session can be resumed later — or a *learned rate profile* can be shipped
+to other users of the same schema, turning one expert's feedback into
+everyone's defaults (the paper's "personalized authority flow search").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.system import ObjectRankSystem
+from repro.errors import ReproError
+from repro.graph.serialization import (
+    transfer_schema_from_dict,
+    transfer_schema_to_dict,
+)
+from repro.query.query import QueryVector
+
+_FORMAT_VERSION = 1
+
+
+def session_state(system: ObjectRankSystem) -> dict[str, Any]:
+    """The resumable state of a session as a plain dict."""
+    return {
+        "version": _FORMAT_VERSION,
+        "query_vector": system.current_vector.weights if system.current_vector else None,
+        "rates": transfer_schema_to_dict(system.current_rates),
+    }
+
+
+def save_session(system: ObjectRankSystem, path: str | Path) -> None:
+    """Write the session's learned state (vector + rates) to JSON."""
+    Path(path).write_text(json.dumps(session_state(system)), encoding="utf-8")
+
+
+def restore_session(system: ObjectRankSystem, path: str | Path) -> None:
+    """Load previously saved state into a (fresh or used) session.
+
+    The saved rates must be over the same schema as the system's dataset;
+    restoring replaces the current rates and query vector, and the next
+    :meth:`~repro.core.system.ObjectRankSystem.rerun`-style search — i.e.
+    ``system.query`` with ``rates=system.current_rates`` or a
+    :meth:`feedback` call — continues from the restored state.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(f"unsupported session format version: {version!r}")
+    rates = transfer_schema_from_dict(payload["rates"])
+    if rates.edge_types() != system.current_rates.edge_types():
+        raise ReproError("saved session is over a different schema")
+    system.current_rates = rates
+    weights = payload.get("query_vector")
+    system.current_vector = QueryVector(weights) if weights is not None else None

@@ -1,0 +1,238 @@
+"""The ObjectRank2 query-and-reformulation system (the paper's deployed demo).
+
+:class:`ObjectRankSystem` ties every component together into the interactive
+loop of Section 5's "Overview of process":
+
+1. :meth:`query` computes the top-k objects by ObjectRank2;
+2. :meth:`explain` builds the explaining subgraph of any result and runs the
+   flow-adjustment fixpoint;
+3. :meth:`feedback` takes the objects the user marked relevant, reformulates
+   the query (content and/or structure) from their explanations, and re-runs
+   the reformulated query — warm-started from the previous scores, the
+   Section 6.2 optimization.
+
+The system records per-stage timings (:class:`repro.bench.IterationTiming`)
+for every iteration, which is exactly what Figures 14-17 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.timing import (
+    STAGE_ADJUST,
+    STAGE_REFORMULATE,
+    STAGE_SEARCH,
+    STAGE_SUBGRAPH,
+    IterationTiming,
+    StageClock,
+)
+from repro.core.config import SystemConfig
+from repro.errors import ReproError
+from repro.explain.adjustment import FlowExplanation, adjust_flows
+from repro.explain.subgraph import build_explaining_subgraph
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.graph.data_graph import DataGraph
+from repro.query.engine import SearchEngine, SearchResult
+from repro.query.query import KeywordQuery, QueryVector
+from repro.ranking.objectrank import global_objectrank
+from repro.reformulate.combined import ReformulatedQuery, Reformulator
+
+
+@dataclass
+class FeedbackOutcome:
+    """Everything produced by one feedback-and-reformulate iteration."""
+
+    explanations: list[FlowExplanation]
+    reformulated: ReformulatedQuery
+    result: SearchResult
+    timing: IterationTiming
+
+
+class ObjectRankSystem:
+    """A stateful ObjectRank2 session over one dataset.
+
+    The session tracks the current query vector, the current (possibly
+    learned) authority transfer rates, and the previous score vector used to
+    warm-start reformulated queries.
+    """
+
+    def __init__(
+        self,
+        data_graph: DataGraph,
+        transfer_schema: AuthorityTransferSchemaGraph,
+        config: SystemConfig | None = None,
+        engine: SearchEngine | None = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.engine = engine or SearchEngine(
+            data_graph,
+            transfer_schema,
+            damping=self.config.damping,
+            tolerance=self.config.tolerance,
+            max_iterations=self.config.max_iterations,
+        )
+        self.reformulator = Reformulator.with_factors(
+            self.config.expansion_factor,
+            self.config.adjustment_factor,
+            self.config.decay,
+            self.config.num_expansion_terms,
+        )
+        self._initial_schema = transfer_schema
+        self.current_rates: AuthorityTransferSchemaGraph = transfer_schema
+        self.current_vector: QueryVector | None = None
+        self.last_result: SearchResult | None = None
+        self.timings: list[IterationTiming] = []
+        self._iteration = 0
+        self._explaining_iterations: list[int] = []
+        self._global_scores: np.ndarray | None = None
+
+    # -- querying ------------------------------------------------------------
+
+    def query(
+        self, query: KeywordQuery | QueryVector | str, rates=None
+    ) -> SearchResult:
+        """Run a fresh query; resets session state (rates, warm start)."""
+        self.current_rates = rates if rates is not None else self._initial_schema
+        self.current_vector = self.engine.query_vector(query)
+        self.last_result = None
+        self.timings = []
+        self._iteration = 0
+        self._explaining_iterations = []
+        return self._run(label="initial")
+
+    def _run(self, label: str) -> SearchResult:
+        if self.current_vector is None:
+            raise ReproError("no query has been issued yet")
+        clock = StageClock()
+        init = self._warm_start()
+        with clock.stage(STAGE_SEARCH):
+            result = self.engine.search(
+                self.current_vector,
+                top_k=self.config.top_k,
+                rates=self.current_rates,
+                init=init,
+            )
+        self.last_result = result
+        self.timings.append(
+            IterationTiming(
+                label=label,
+                search_seconds=clock.total(STAGE_SEARCH),
+                subgraph_seconds=0.0,
+                adjust_seconds=0.0,
+                reformulate_seconds=0.0,
+                objectrank_iterations=result.iterations,
+            )
+        )
+        return result
+
+    def _warm_start(self) -> np.ndarray | None:
+        """The Section 6.2 warm-start chain.
+
+        Reformulated queries start from the previous query's scores; the
+        *initial* query starts from the global (query-independent)
+        ObjectRank values, computed lazily once per session under the
+        system's initial rates.
+        """
+        if not self.config.warm_start:
+            return None
+        if self.last_result is not None:
+            return self.last_result.scores
+        if self.config.global_warm_start:
+            return self._global_warm_start()
+        return None
+
+    def _global_warm_start(self) -> np.ndarray:
+        if self._global_scores is None:
+            self.engine.graph.set_transfer_rates(self._initial_schema)
+            self._global_scores = global_objectrank(
+                self.engine.graph,
+                self.config.damping,
+                self.config.tolerance,
+                self.config.max_iterations,
+            ).scores
+        return self._global_scores
+
+    # -- explanation -----------------------------------------------------------
+
+    def explain(self, node_id: str) -> FlowExplanation:
+        """Build and adjust the explaining subgraph for one result object."""
+        if self.last_result is None:
+            raise ReproError("query before explaining a result")
+        base_ids = list(self.last_result.ranked.base_weights)
+        subgraph = build_explaining_subgraph(
+            self.engine.graph, base_ids, node_id, self.config.radius
+        )
+        return adjust_flows(
+            subgraph,
+            self.last_result.scores,
+            self.config.damping,
+            self.config.tolerance,
+        )
+
+    # -- feedback loop ------------------------------------------------------------
+
+    def feedback(self, relevant_ids: list[str]) -> FeedbackOutcome:
+        """Reformulate from the user's marked-relevant objects and re-run.
+
+        Implements the full loop: explain each feedback object, reformulate
+        query vector and transfer rates from the explanations (Section 5.3
+        aggregation for multiple objects), then execute the reformulated
+        query warm-started from the previous scores.
+        """
+        if self.last_result is None or self.current_vector is None:
+            raise ReproError("query before giving feedback")
+        clock = StageClock()
+        base_ids = list(self.last_result.ranked.base_weights)
+        scores = self.last_result.scores
+
+        explanations: list[FlowExplanation] = []
+        for node_id in relevant_ids:
+            with clock.stage(STAGE_SUBGRAPH):
+                subgraph = build_explaining_subgraph(
+                    self.engine.graph, base_ids, node_id, self.config.radius
+                )
+            with clock.stage(STAGE_ADJUST):
+                explanation = adjust_flows(
+                    subgraph, scores, self.config.damping, self.config.tolerance
+                )
+            explanations.append(explanation)
+            self._explaining_iterations.append(explanation.iterations)
+
+        with clock.stage(STAGE_REFORMULATE):
+            reformulated = self.reformulator.reformulate(
+                self.current_vector, self.current_rates, explanations
+            )
+        self.current_vector = reformulated.query_vector
+        self.current_rates = reformulated.transfer_schema
+
+        self._iteration += 1
+        init = self._warm_start()
+        with clock.stage(STAGE_SEARCH):
+            result = self.engine.search(
+                self.current_vector,
+                top_k=self.config.top_k,
+                rates=self.current_rates,
+                init=init,
+            )
+        self.last_result = result
+
+        timing = IterationTiming(
+            label=f"reformulated-{self._iteration}",
+            search_seconds=clock.total(STAGE_SEARCH),
+            subgraph_seconds=clock.total(STAGE_SUBGRAPH),
+            adjust_seconds=clock.total(STAGE_ADJUST),
+            reformulate_seconds=clock.total(STAGE_REFORMULATE),
+            objectrank_iterations=result.iterations,
+        )
+        self.timings.append(timing)
+        return FeedbackOutcome(explanations, reformulated, result, timing)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def explaining_iterations(self) -> list[int]:
+        """Flow-adjustment iteration counts seen so far (Table 3's metric)."""
+        return list(self._explaining_iterations)

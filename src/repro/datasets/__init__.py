@@ -1,0 +1,68 @@
+"""Synthetic datasets reproducing the shape of Table 1's corpora."""
+
+from repro.datasets.base import (
+    BIOLOGICAL_GROUND_TRUTH_VECTOR,
+    DBLP_GROUND_TRUTH_VECTOR,
+    DBLP_INITIAL_TRAINING_RATE,
+    Dataset,
+    biological_edge_order,
+    biological_schema,
+    biological_transfer_schema,
+    dblp_edge_order,
+    dblp_schema,
+    dblp_transfer_schema,
+)
+from repro.datasets.analysis import (
+    StructuralSummary,
+    citation_topic_purity,
+    gini_coefficient,
+    in_degree_distribution,
+    structural_summary,
+)
+from repro.datasets.biological import BiologicalConfig, generate_biological
+from repro.datasets.dblp import DblpConfig, generate_dblp
+from repro.datasets.figure1 import figure1_dataset
+from repro.datasets.registry import (
+    TABLE1_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.stats import DatasetStatistics, dataset_statistics
+from repro.datasets.subset import keyword_subset
+from repro.datasets.vocabulary import (
+    BIOLOGY_TOPICS,
+    DATABASE_TOPICS,
+    Topic,
+)
+
+__all__ = [
+    "BIOLOGICAL_GROUND_TRUTH_VECTOR",
+    "BIOLOGY_TOPICS",
+    "BiologicalConfig",
+    "DATABASE_TOPICS",
+    "DBLP_GROUND_TRUTH_VECTOR",
+    "DBLP_INITIAL_TRAINING_RATE",
+    "Dataset",
+    "DatasetStatistics",
+    "DblpConfig",
+    "StructuralSummary",
+    "TABLE1_DATASETS",
+    "Topic",
+    "biological_edge_order",
+    "biological_schema",
+    "biological_transfer_schema",
+    "citation_topic_purity",
+    "dataset_names",
+    "dataset_statistics",
+    "dblp_edge_order",
+    "dblp_schema",
+    "dblp_transfer_schema",
+    "figure1_dataset",
+    "generate_biological",
+    "generate_dblp",
+    "gini_coefficient",
+    "in_degree_distribution",
+    "keyword_subset",
+    "load_dataset",
+    "structural_summary",
+]

@@ -1,0 +1,154 @@
+"""Dataset bundles and the reference schemas of the paper.
+
+:class:`Dataset` carries everything an experiment needs: the data graph, the
+authority transfer schema with its *initial* rates, and (when known) the
+ground-truth rates of [BHP04] that the Figure 11 training experiment tries to
+recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.authority import AuthorityTransferSchemaGraph, Direction, EdgeType
+from repro.graph.data_graph import DataGraph
+from repro.graph.schema import SchemaGraph
+
+
+@dataclass
+class Dataset:
+    """A named data graph plus its authority transfer schema."""
+
+    name: str
+    data_graph: DataGraph
+    transfer_schema: AuthorityTransferSchemaGraph
+    ground_truth_rates: AuthorityTransferSchemaGraph | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> SchemaGraph:
+        return self.transfer_schema.schema
+
+    @property
+    def num_nodes(self) -> int:
+        return self.data_graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.data_graph.num_edges
+
+
+# --------------------------------------------------------------------------
+# DBLP (Figures 2 and 3)
+# --------------------------------------------------------------------------
+
+def dblp_schema() -> SchemaGraph:
+    """The DBLP schema graph of Figure 2."""
+    schema = SchemaGraph()
+    for label in ("Paper", "Author", "Conference", "Year"):
+        schema.add_label(label)
+    schema.add_edge("Paper", "Paper", "cites")
+    schema.add_edge("Paper", "Author", "by")
+    schema.add_edge("Conference", "Year", "has")
+    schema.add_edge("Year", "Paper", "contains")
+    return schema
+
+
+def dblp_edge_order(schema: SchemaGraph) -> list[EdgeType]:
+    """The paper's rate-vector order [PP, PPb, PA, AP, CY, YC, YP, PY]."""
+    cites, by, has, contains = schema.edges
+    forward, backward = Direction.FORWARD, Direction.BACKWARD
+    return [
+        EdgeType(cites, forward),      # PP
+        EdgeType(cites, backward),     # PP backward ("cited")
+        EdgeType(by, forward),         # PA
+        EdgeType(by, backward),        # AP
+        EdgeType(has, forward),        # CY
+        EdgeType(has, backward),       # YC
+        EdgeType(contains, forward),   # YP
+        EdgeType(contains, backward),  # PY
+    ]
+
+
+# Ground truth of [BHP04] as quoted in Section 6.1.1:
+# [PP, PPb, PA, AP, CY, YC, YP, PY]
+DBLP_GROUND_TRUTH_VECTOR = [0.7, 0.0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1]
+# The surveys initialize every rate to 0.3 before training (Section 6.1.1).
+DBLP_INITIAL_TRAINING_RATE = 0.3
+
+
+def dblp_transfer_schema(
+    vector: list[float] | None = None, epsilon: float = 0.0
+) -> AuthorityTransferSchemaGraph:
+    """Figure 3's authority transfer schema graph.
+
+    ``vector`` overrides the [BHP04] ground-truth rates, in the canonical
+    [PP, PPb, PA, AP, CY, YC, YP, PY] order.
+    """
+    schema = dblp_schema()
+    transfer = AuthorityTransferSchemaGraph(schema, epsilon=epsilon)
+    order = dblp_edge_order(schema)
+    values = vector if vector is not None else DBLP_GROUND_TRUTH_VECTOR
+    return transfer.with_vector(values, order)
+
+
+# --------------------------------------------------------------------------
+# Biological sources (Figure 4)
+# --------------------------------------------------------------------------
+
+def biological_schema() -> SchemaGraph:
+    """A biological schema following Figure 4.
+
+    Entrez Gene is the hub: it associates with PubMed publications, OMIM
+    disease entries, Entrez Protein and Entrez Nucleotide records; protein
+    and nucleotide records also cite PubMed publications.
+    """
+    schema = SchemaGraph()
+    for label in ("EntrezGene", "EntrezProtein", "EntrezNucleotide", "PubMed", "OMIM"):
+        schema.add_label(label)
+    schema.add_edge("EntrezGene", "PubMed", "genePubMedAssociates")
+    schema.add_edge("EntrezGene", "EntrezProtein", "geneProteinAssociates")
+    schema.add_edge("EntrezGene", "EntrezNucleotide", "geneNucleotideAssociates")
+    schema.add_edge("EntrezGene", "OMIM", "geneOmimAssociates")
+    schema.add_edge("EntrezProtein", "PubMed", "proteinPubMedAssociates")
+    schema.add_edge("EntrezNucleotide", "PubMed", "nucleotidePubMedAssociates")
+    schema.add_edge("OMIM", "PubMed", "omimPubMedAssociates")
+    return schema
+
+
+def biological_edge_order(schema: SchemaGraph) -> list[EdgeType]:
+    """Canonical edge-type order: forward then backward per schema edge."""
+    order: list[EdgeType] = []
+    for edge in schema.edges:
+        order.append(EdgeType(edge, Direction.FORWARD))
+        order.append(EdgeType(edge, Direction.BACKWARD))
+    return order
+
+
+# Plausible expert rates for the biological graph: publications confer
+# authority to the biological entities citing them and vice versa, with
+# gene-publication links strongest (the paper's motivating example asks what
+# flows from a gene to a PubMed publication vs. to a protein).
+BIOLOGICAL_GROUND_TRUTH_VECTOR = [
+    0.40, 0.30,  # gene <-> pubmed
+    0.25, 0.20,  # gene <-> protein
+    0.15, 0.20,  # gene <-> nucleotide
+    0.10, 0.10,  # gene <-> omim
+    0.40, 0.10,  # protein <-> pubmed
+    0.30, 0.10,  # nucleotide <-> pubmed
+    0.40, 0.10,  # omim <-> pubmed
+]
+# Every label's outgoing rate sum stays below 1 (required for convergence):
+# gene 0.9, protein 0.6, nucleotide 0.5, pubmed 0.6, omim 0.5.
+
+
+def biological_transfer_schema(
+    vector: list[float] | None = None, epsilon: float = 0.0
+) -> AuthorityTransferSchemaGraph:
+    """The authority transfer schema for the Figure 4 biological graph."""
+    schema = biological_schema()
+    transfer = AuthorityTransferSchemaGraph(schema, epsilon=epsilon)
+    order = biological_edge_order(schema)
+    values = vector if vector is not None else BIOLOGICAL_GROUND_TRUTH_VECTOR
+    return transfer.with_vector(values, order)

@@ -1,0 +1,265 @@
+"""Synthetic DBLP-like bibliographic datasets.
+
+The paper evaluates on the real DBLP dump (Table 1), which is not available
+offline; this generator produces a faithful synthetic stand-in:
+
+* the exact relational schema of Figure 2 (conference, year, paper, author,
+  paper_author, citation), built through the mini relational store and then
+  *shredded* into a data graph, as the paper describes;
+* topically clustered titles (papers about OLAP cite papers about OLAP),
+  which is what gives ObjectRank its base-set communities;
+* preferential-attachment citations biased toward same-topic and older
+  papers, producing the hub/authority skew authority flow exploits;
+* Zipf-like author productivity with per-topic author pools.
+
+Everything is driven by one ``random.Random(seed)``, so datasets are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.base import (
+    DBLP_GROUND_TRUTH_VECTOR,
+    Dataset,
+    dblp_transfer_schema,
+)
+from repro.datasets.vocabulary import DATABASE_TOPICS, Topic, make_person_name, make_title
+from repro.errors import DatasetError
+from repro.storage.relational import Database, ForeignKey, TableSchema
+from repro.storage.shred import (
+    EdgeFromForeignKey,
+    EdgeTable,
+    NodeTable,
+    ShredSpec,
+    shred_to_graph,
+)
+
+DBLP_SHRED_SPEC = ShredSpec(
+    node_tables=(
+        NodeTable("conference", "Conference", ("name",)),
+        NodeTable("year", "Year", ("name", "year", "location")),
+        NodeTable("paper", "Paper", ("title", "venue")),
+        NodeTable("author", "Author", ("name",)),
+    ),
+    fk_edges=(
+        EdgeFromForeignKey("year", "conference_id", "has", reverse=True),
+        EdgeFromForeignKey("paper", "year_id", "contains", reverse=True),
+    ),
+    edge_tables=(
+        EdgeTable("paper_author", "paper_id", "author_id", "paper", "author", "by"),
+        EdgeTable("citation", "citing_id", "cited_id", "paper", "paper", "cites"),
+    ),
+)
+
+_LOCATIONS = (
+    "Birmingham", "Sydney", "Taipei", "Boston", "Heidelberg", "Bombay",
+    "Cairo", "Roma", "Seattle", "Santiago", "Trondheim", "Vienna",
+)
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Size and shape parameters of a synthetic DBLP dataset."""
+
+    num_papers: int = 4000
+    num_authors: int = 1200
+    num_conferences: int = 12
+    first_year: int = 1990
+    last_year: int = 2007
+    mean_citations: float = 4.0
+    max_authors_per_paper: int = 4
+    topic_coherence: float = 0.8  # probability a citation stays on-topic
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_papers < 1 or self.num_authors < 1 or self.num_conferences < 1:
+            raise DatasetError("DBLP generator sizes must be positive")
+        if self.last_year < self.first_year:
+            raise DatasetError("last_year must be >= first_year")
+        if not 0.0 <= self.topic_coherence <= 1.0:
+            raise DatasetError("topic_coherence must be in [0, 1]")
+
+
+def build_dblp_database(config: DblpConfig) -> tuple[Database, dict[int, Topic]]:
+    """Generate the relational form; returns (database, paper-id -> topic)."""
+    rng = random.Random(config.seed)
+    topics = DATABASE_TOPICS
+    database = Database()
+    database.create_table(TableSchema("conference", ("id", "name")))
+    database.create_table(
+        TableSchema(
+            "year",
+            ("id", "conference_id", "name", "year", "location"),
+            foreign_keys=(ForeignKey("conference_id", "conference"),),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "paper",
+            ("id", "year_id", "title", "venue"),
+            foreign_keys=(ForeignKey("year_id", "year"),),
+        )
+    )
+    database.create_table(TableSchema("author", ("id", "name")))
+    database.create_table(
+        TableSchema(
+            "paper_author",
+            ("id", "paper_id", "author_id"),
+            foreign_keys=(ForeignKey("paper_id", "paper"), ForeignKey("author_id", "author")),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "citation",
+            ("id", "citing_id", "cited_id"),
+            foreign_keys=(ForeignKey("citing_id", "paper"), ForeignKey("cited_id", "paper")),
+        )
+    )
+
+    # Conferences with topic profiles; a year row per (conference, year).
+    conference_topics: dict[int, tuple[Topic, ...]] = {}
+    year_ids: dict[int, list[int]] = {}
+    year_row = 0
+    for conf_id in range(config.num_conferences):
+        name = "CONF" + str(conf_id)
+        database.insert("conference", {"id": conf_id, "name": name})
+        profile = tuple(rng.sample(topics, k=min(3, len(topics))))
+        conference_topics[conf_id] = profile
+        year_ids[conf_id] = []
+        for year in range(config.first_year, config.last_year + 1):
+            database.insert(
+                "year",
+                {
+                    "id": year_row,
+                    "conference_id": conf_id,
+                    "name": name,
+                    "year": str(year),
+                    "location": rng.choice(_LOCATIONS),
+                },
+            )
+            year_ids[conf_id].append(year_row)
+            year_row += 1
+
+    # Authors: each belongs to 1-2 topics; productivity is Zipf-like via
+    # weighted choice by 1/rank.  Author rows are inserted only for authors
+    # that end up with at least one paper (no isolated Author nodes), so
+    # authorship rows are buffered until the paper loop finishes.
+    author_topics: dict[str, list[int]] = {topic.name: [] for topic in topics}
+    for author_id in range(config.num_authors):
+        for topic in rng.sample(topics, k=rng.randint(1, 2)):
+            author_topics[topic.name].append(author_id)
+    author_rank_weight = [1.0 / (1 + i) for i in range(config.num_authors)]
+    authorship_buffer: list[tuple[int, int]] = []  # (paper_id, author_id)
+
+    # Papers in chronological order so citations can point backward in time.
+    paper_topic: dict[int, Topic] = {}
+    papers_by_topic: dict[str, list[int]] = {topic.name: [] for topic in topics}
+    citation_row = 0
+    authorship_row = 0
+    all_papers: list[int] = []
+    for paper_id in range(config.num_papers):
+        conf_id = rng.randrange(config.num_conferences)
+        topic = rng.choice(conference_topics[conf_id])
+        secondary = rng.choice(topics) if rng.random() < 0.3 else None
+        year_index = rng.randrange(len(year_ids[conf_id]))
+        year_id = year_ids[conf_id][year_index]
+        year_value = config.first_year + year_index
+        database.insert(
+            "paper",
+            {
+                "id": paper_id,
+                "year_id": year_id,
+                "title": make_title(rng, topic, secondary),
+                "venue": f"CONF{conf_id} {year_value}",
+            },
+        )
+        paper_topic[paper_id] = topic
+
+        # Authorship: prefer prolific authors from the paper's topic pool.
+        pool = author_topics[topic.name] or list(range(config.num_authors))
+        pool_weights = [author_rank_weight[a] for a in pool]
+        num_authors = rng.randint(1, config.max_authors_per_paper)
+        chosen: set[int] = set()
+        for _ in range(num_authors):
+            chosen.add(rng.choices(pool, weights=pool_weights, k=1)[0])
+        for author_id in sorted(chosen):
+            authorship_buffer.append((paper_id, author_id))
+
+        # Citations: preferential attachment (recent papers cite earlier
+        # ones, earlier ones accumulate citations), biased on-topic.
+        num_citations = min(
+            _poisson(rng, config.mean_citations), len(all_papers)
+        )
+        cited: set[int] = set()
+        for _ in range(num_citations):
+            if rng.random() < config.topic_coherence and papers_by_topic[topic.name]:
+                candidates = papers_by_topic[topic.name]
+            else:
+                candidates = all_papers
+            # Quadratic skew toward low indices approximates preferential
+            # attachment without per-node counters.
+            pick = candidates[int(len(candidates) * rng.random() * rng.random())]
+            if pick != paper_id:
+                cited.add(pick)
+        for cited_id in cited:
+            database.insert(
+                "citation",
+                {"id": citation_row, "citing_id": paper_id, "cited_id": cited_id},
+            )
+            citation_row += 1
+
+        papers_by_topic[topic.name].append(paper_id)
+        all_papers.append(paper_id)
+
+    # Materialize only the authors that were actually used, then their rows.
+    used_authors = sorted({author_id for _, author_id in authorship_buffer})
+    for author_id in used_authors:
+        database.insert("author", {"id": author_id, "name": make_person_name(rng)})
+    for paper_id, author_id in authorship_buffer:
+        database.insert(
+            "paper_author",
+            {"id": authorship_row, "paper_id": paper_id, "author_id": author_id},
+        )
+        authorship_row += 1
+
+    return database, paper_topic
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Small-mean Poisson sample via inversion (Knuth)."""
+    if mean <= 0:
+        return 0
+    limit = pow(2.718281828459045, -mean)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def generate_dblp(config: DblpConfig = DblpConfig(), name: str = "dblp") -> Dataset:
+    """Generate a synthetic DBLP dataset ready for ObjectRank2.
+
+    The returned dataset's ``transfer_schema`` carries the [BHP04]
+    ground-truth rates of Figure 3; ``extras["paper_topics"]`` maps paper node
+    ids to topic names (used by simulated users and quality metrics).
+    """
+    database, paper_topic = build_dblp_database(config)
+    graph = shred_to_graph(database, DBLP_SHRED_SPEC)
+    transfer_schema = dblp_transfer_schema(DBLP_GROUND_TRUTH_VECTOR)
+    return Dataset(
+        name=name,
+        data_graph=graph,
+        transfer_schema=transfer_schema,
+        ground_truth_rates=transfer_schema,
+        extras={
+            "paper_topics": {
+                f"paper:{paper_id}": topic.name for paper_id, topic in paper_topic.items()
+            },
+            "config": config,
+        },
+    )

@@ -1,0 +1,69 @@
+"""The paper's running example: the DBLP subset of Figures 1, 5, 6 and 9.
+
+Seven objects (nodes ``v1``-``v7``), the DBLP schema of Figure 2 and the
+[BHP04] transfer rates of Figure 3.  Tests, examples and documentation all
+use this graph because the paper works its equations on it: the "Data Cube"
+paper (``v7``) tops the "OLAP" query without containing the keyword, and the
+explaining subgraph of ``v4`` ("Range Queries in OLAP Data Cubes") excludes
+``v7`` because no path leads from it to ``v4`` (Example 1).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, dblp_transfer_schema
+from repro.graph.data_graph import DataGraph
+
+_NODES = (
+    ("v1", "Paper", {
+        "authors": "H. Gupta, V. Harinarayan, A. Rajaraman, J. Ullman",
+        "title": "Index Selection for OLAP.",
+        "year": "ICDE 1997",
+    }),
+    ("v2", "Conference", {"name": "ICDE"}),
+    ("v3", "Year", {"name": "ICDE", "year": "1997", "location": "Birmingham"}),
+    ("v4", "Paper", {
+        "authors": "C. Ho, R. Agrawal, N. Megiddo, R. Srikant",
+        "title": "Range Queries in OLAP Data Cubes.",
+        "year": "SIGMOD 1997",
+    }),
+    ("v5", "Paper", {
+        "authors": "R. Agrawal, A. Gupta, S. Sarawagi",
+        "title": "Modeling Multidimensional Databases.",
+        "year": "ICDE 1997",
+    }),
+    ("v6", "Author", {"name": "R. Agrawal"}),
+    ("v7", "Paper", {
+        "authors": "J. Gray, A. Bosworth, A. Layman, H. Pirahesh",
+        "title": "Data Cube: A Relational Aggregation Operator Generalizing "
+                 "Group-By, Cross-Tab, and Sub-Total.",
+        "year": "ICDE 1996",
+    }),
+)
+
+_EDGES = (
+    ("v1", "v7", "cites"),
+    ("v5", "v7", "cites"),
+    ("v5", "v1", "cites"),
+    ("v4", "v7", "cites"),
+    ("v2", "v3", "has"),
+    ("v3", "v1", "contains"),
+    ("v3", "v5", "contains"),
+    ("v4", "v6", "by"),
+    ("v5", "v6", "by"),
+)
+
+
+def figure1_dataset() -> Dataset:
+    """Build the Figure 1 data graph with Figure 3's transfer rates."""
+    graph = DataGraph()
+    for node_id, label, attributes in _NODES:
+        graph.add_node(node_id, label, attributes)
+    for source, target, role in _EDGES:
+        graph.add_edge(source, target, role)
+    transfer_schema = dblp_transfer_schema()
+    return Dataset(
+        name="figure1",
+        data_graph=graph,
+        transfer_schema=transfer_schema,
+        ground_truth_rates=transfer_schema,
+    )

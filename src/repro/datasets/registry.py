@@ -1,0 +1,118 @@
+"""The four named datasets of Table 1, at laptop scale.
+
+The paper's datasets (sizes as published):
+
+    DBLPcomplete   876,110 nodes   4,166,626 edges
+    DBLPtop         22,653 nodes     166,960 edges
+    DS7            699,199 nodes   3,533,756 edges
+    DS7cancer       37,796 nodes     138,146 edges
+
+Real DBLP/PubMed data is unavailable offline, so the registry generates
+synthetic datasets preserving the *relative* scale (complete >> focused
+subset) while staying laptop-friendly.  ``scale`` multiplies every size knob
+for users who want larger runs; tests use the ``*_tiny`` entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.biological import BiologicalConfig, generate_biological
+from repro.datasets.dblp import DblpConfig, generate_dblp
+from repro.datasets.subset import keyword_subset
+from repro.errors import DatasetError
+
+
+def _dblp_complete(scale: float, seed: int) -> Dataset:
+    config = DblpConfig(
+        num_papers=int(24000 * scale),
+        num_authors=int(7000 * scale),
+        num_conferences=40,
+        mean_citations=4.5,
+        seed=seed,
+    )
+    return generate_dblp(config, name="dblp_complete")
+
+
+def _dblp_top(scale: float, seed: int) -> Dataset:
+    config = DblpConfig(
+        num_papers=int(3000 * scale),
+        num_authors=int(900 * scale),
+        num_conferences=10,
+        mean_citations=5.0,
+        seed=seed,
+    )
+    return generate_dblp(config, name="dblp_top")
+
+
+def _dblp_tiny(scale: float, seed: int) -> Dataset:
+    config = DblpConfig(
+        num_papers=max(int(250 * scale), 20),
+        num_authors=max(int(80 * scale), 8),
+        num_conferences=4,
+        mean_citations=3.0,
+        seed=seed,
+    )
+    return generate_dblp(config, name="dblp_tiny")
+
+
+def _ds7(scale: float, seed: int) -> Dataset:
+    config = BiologicalConfig(
+        num_genes=int(2200 * scale),
+        num_publications=int(9000 * scale),
+        num_omim=int(500 * scale),
+        seed=seed,
+    )
+    return generate_biological(config, name="ds7")
+
+
+def _ds7_cancer(scale: float, seed: int) -> Dataset:
+    return keyword_subset(
+        _ds7(scale, seed), "cancer", hops=1, seed_labels=("PubMed",), name="ds7_cancer"
+    )
+
+
+def _bio_tiny(scale: float, seed: int) -> Dataset:
+    config = BiologicalConfig(
+        num_genes=max(int(60 * scale), 10),
+        num_publications=max(int(220 * scale), 20),
+        num_omim=max(int(20 * scale), 4),
+        seed=seed,
+    )
+    return generate_biological(config, name="bio_tiny")
+
+
+_REGISTRY: dict[str, Callable[[float, int], Dataset]] = {
+    "dblp_complete": _dblp_complete,
+    "dblp_top": _dblp_top,
+    "dblp_tiny": _dblp_tiny,
+    "ds7": _ds7,
+    "ds7_cancer": _ds7_cancer,
+    "bio_tiny": _bio_tiny,
+}
+
+# The four datasets of Table 1, in the paper's order.
+TABLE1_DATASETS = ("dblp_complete", "dblp_top", "ds7", "ds7_cancer")
+
+
+def dataset_names() -> list[str]:
+    """All names accepted by :func:`load_dataset`."""
+    return list(_REGISTRY)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 7) -> Dataset:
+    """Generate one of the named datasets.
+
+    ``scale`` multiplies the size knobs; ``seed`` drives the generator.
+    Generation is deterministic: same (name, scale, seed) -> same graph.
+    """
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+    return factory(scale, seed)

@@ -1,0 +1,43 @@
+"""Table-1-style dataset statistics."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.datasets.base import Dataset
+from repro.graph.serialization import data_graph_to_dict
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 1: name, node count, edge count, serialized size."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    size_bytes: int
+    label_counts: dict[str, int]
+
+    @property
+    def size_megabytes(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+    def row(self) -> tuple[str, int, int, str]:
+        return (self.name, self.num_nodes, self.num_edges, f"{self.size_megabytes:.1f}")
+
+
+def dataset_statistics(dataset: Dataset) -> DatasetStatistics:
+    """Compute the Table 1 row for a dataset.
+
+    Size is the JSON-serialized size of the data graph — our analogue of the
+    paper's on-disk size column.
+    """
+    payload = json.dumps(data_graph_to_dict(dataset.data_graph))
+    return DatasetStatistics(
+        name=dataset.name,
+        num_nodes=dataset.num_nodes,
+        num_edges=dataset.num_edges,
+        size_bytes=len(payload.encode("utf-8")),
+        label_counts=dataset.data_graph.label_counts(),
+    )

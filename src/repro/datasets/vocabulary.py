@@ -1,0 +1,117 @@
+"""Topic vocabularies for the synthetic dataset generators.
+
+The paper's quality experiments depend on keyword *clustering*: papers about
+OLAP cite papers about OLAP, and the base set of a query lands inside a
+topical community whose citation structure the authority flow then exploits.
+These vocabularies give the generators that clustering — each topic is a set
+of characteristic terms drawn into titles, with shared filler words providing
+realistic overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A named topic with its characteristic vocabulary."""
+
+    name: str
+    words: tuple[str, ...]
+
+
+DATABASE_TOPICS: tuple[Topic, ...] = (
+    Topic("olap", ("olap", "cube", "cubes", "aggregation", "multidimensional",
+                   "warehouse", "rollup", "drilldown", "materialized", "views")),
+    Topic("xml", ("xml", "xpath", "xquery", "semistructured", "documents",
+                  "schema", "twig", "elements", "dtd", "trees")),
+    Topic("mining", ("mining", "patterns", "association", "rules", "frequent",
+                     "itemsets", "clustering", "classification", "outliers", "discovery")),
+    Topic("indexing", ("index", "indexing", "btree", "hashing", "access",
+                       "structures", "selection", "bitmap", "spatial", "rtree")),
+    Topic("optimization", ("query", "optimization", "plans", "cost", "join",
+                           "selectivity", "cardinality", "estimation", "optimizer", "rewriting")),
+    Topic("search", ("keyword", "search", "ranked", "ranking", "proximity",
+                     "retrieval", "relevance", "answers", "results", "scoring")),
+    Topic("streams", ("streams", "streaming", "continuous", "windows", "sliding",
+                      "sensors", "realtime", "approximation", "sketches", "load")),
+    Topic("transactions", ("transactions", "concurrency", "locking", "recovery",
+                           "logging", "serializability", "isolation", "commit", "protocols", "acid")),
+    Topic("distributed", ("distributed", "parallel", "replication", "partitioning",
+                          "fragments", "sites", "consensus", "scalable", "cluster", "grid")),
+    Topic("web", ("web", "pages", "hyperlink", "crawling", "pagerank",
+                  "authority", "graph", "links", "sites", "navigation")),
+)
+
+BIOLOGY_TOPICS: tuple[Topic, ...] = (
+    Topic("cancer", ("cancer", "tumor", "carcinoma", "oncogene", "metastasis",
+                     "apoptosis", "proliferation", "malignant", "leukemia", "lymphoma")),
+    Topic("immunology", ("immune", "antibody", "antigen", "cytokine", "inflammation",
+                         "lymphocyte", "interleukin", "macrophage", "autoimmune", "response")),
+    Topic("neuroscience", ("neuron", "synaptic", "brain", "cortical", "receptor",
+                           "dopamine", "axon", "neural", "cognition", "plasticity")),
+    Topic("cardiovascular", ("cardiac", "heart", "vascular", "artery", "hypertension",
+                             "myocardial", "ischemia", "atherosclerosis", "endothelial", "pressure")),
+    Topic("metabolism", ("metabolic", "insulin", "glucose", "diabetes", "obesity",
+                         "lipid", "mitochondrial", "oxidative", "enzyme", "pathway")),
+    Topic("genetics", ("mutation", "genome", "polymorphism", "allele", "expression",
+                       "transcription", "regulation", "sequencing", "variant", "heritability")),
+)
+
+FILLER_WORDS: tuple[str, ...] = (
+    "analysis", "approach", "efficient", "evaluation", "effective", "study",
+    "model", "framework", "system", "method", "novel", "improved", "general",
+    "processing", "management", "performance", "data", "large", "scale",
+    "adaptive", "dynamic", "robust", "practical", "techniques",
+)
+
+_CONSONANTS = "bcdfgklmnprstvz"
+_VOWELS = "aeiou"
+
+
+def topic_by_name(topics: tuple[Topic, ...], name: str) -> Topic:
+    """Look up a topic by name; raises KeyError when unknown."""
+    for topic in topics:
+        if topic.name == name:
+            return topic
+    raise KeyError(name)
+
+
+def make_title(
+    rng: random.Random,
+    topic: Topic,
+    secondary: Topic | None = None,
+    min_words: int = 4,
+    max_words: int = 9,
+) -> str:
+    """A synthetic title mixing topic terms with filler words."""
+    length = rng.randint(min_words, max_words)
+    num_topic = max(1, round(length * 0.5))
+    words = [rng.choice(topic.words) for _ in range(num_topic)]
+    if secondary is not None and length - num_topic > 1:
+        words.append(rng.choice(secondary.words))
+    while len(words) < length:
+        words.append(rng.choice(FILLER_WORDS))
+    rng.shuffle(words)
+    return " ".join(words)
+
+
+def make_person_name(rng: random.Random) -> str:
+    """A synthetic author name like ``K. Velano``."""
+    initial = rng.choice("ABCDEFGHJKLMNPRSTVW")
+    surname = make_symbol(rng, syllables=rng.randint(2, 3)).capitalize()
+    return f"{initial}. {surname}"
+
+def make_symbol(rng: random.Random, syllables: int = 2) -> str:
+    """A pronounceable synthetic identifier (gene symbols, surnames...)."""
+    return "".join(
+        rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(syllables)
+    )
+
+
+def make_gene_symbol(rng: random.Random) -> str:
+    """An uppercase gene-like symbol such as ``TNK3``."""
+    letters = "".join(rng.choice("ABCDEFGHIKLMNPRSTUVWXYZ") for _ in range(rng.randint(2, 4)))
+    return letters + str(rng.randint(1, 19))

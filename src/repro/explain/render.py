@@ -1,0 +1,78 @@
+"""Rendering explaining subgraphs for display (Section 4).
+
+The paper generates and *displays* the explaining subgraph to the user
+(Figure 9); here we render it as plain text (for terminals and tests) and as
+Graphviz DOT (for actual display).
+"""
+
+from __future__ import annotations
+
+from repro.explain.adjustment import FlowExplanation
+from repro.explain.paths import top_paths
+
+
+def _node_caption(explanation: FlowExplanation, index: int) -> str:
+    graph = explanation.graph
+    node = graph.data_graph.node(graph.node_id_of(index))
+    title = node.attributes.get("title") or node.attributes.get("name") or node.node_id
+    if len(title) > 40:
+        title = title[:37] + "..."
+    return f"{node.label}:{title}"
+
+
+def to_text(explanation: FlowExplanation, max_paths: int = 5) -> str:
+    """A human-readable explanation: target inflow plus the strongest paths."""
+    subgraph = explanation.subgraph
+    lines = [
+        f"Explanation for {subgraph.target_id}",
+        f"  subgraph: {subgraph.num_nodes} nodes, {subgraph.num_edges} edges"
+        + (f" (radius {subgraph.radius})" if subgraph.radius is not None else ""),
+        f"  total authority reaching target: {explanation.target_inflow():.6g}",
+        f"  flow adjustment converged in {explanation.iterations} iterations",
+    ]
+    if subgraph.is_empty:
+        lines.append("  (no authority path from the base set reaches this object)")
+        return "\n".join(lines)
+    lines.append(f"  top {max_paths} authority paths:")
+    for path in top_paths(explanation, max_paths):
+        captions = " -> ".join(
+            _node_caption(explanation, explanation.graph.index_of(node_id))
+            for node_id in path.node_ids
+        )
+        lines.append(f"    [{path.bottleneck:.3g}] {captions}")
+    return "\n".join(lines)
+
+
+def to_dot(explanation: FlowExplanation, min_flow: float = 0.0) -> str:
+    """Graphviz DOT of the explaining subgraph with flow-annotated edges.
+
+    ``min_flow`` drops edges below a threshold, the paper's "only keep the
+    paths with high authority flow" display rule.
+    """
+    subgraph = explanation.subgraph
+    graph = subgraph.graph
+    lines = ["digraph explanation {", "  rankdir=LR;"]
+    base = set(subgraph.base_nodes)
+    shown: set[int] = set()
+    edges: list[str] = []
+    for edge_id, flow in zip(subgraph.edge_ids, explanation.flows):
+        if flow < min_flow:
+            continue
+        source = int(graph.edge_source[edge_id])
+        dest = int(graph.edge_target[edge_id])
+        shown.update((source, dest))
+        role = graph.edge_type_of(int(edge_id)).role
+        edges.append(
+            f'  "{graph.node_id_of(source)}" -> "{graph.node_id_of(dest)}"'
+            f' [label="{role}\\n{flow:.3g}"];'
+        )
+    shown.add(subgraph.target)
+    for index in sorted(shown):
+        caption = _node_caption(explanation, index).replace('"', "'")
+        shape = "doubleoctagon" if index == subgraph.target else (
+            "box" if index in base else "ellipse"
+        )
+        lines.append(f'  "{graph.node_id_of(index)}" [label="{caption}", shape={shape}];')
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Implicit feedback from click-through (Section 5, "Overview of process").
+
+The paper notes that instead of explicit marks, the "user's click-through
+could be used to implicitly derive such markings."  This module provides
+that pipeline:
+
+* :class:`ClickLog` records which presented results a user clicked, per query;
+* :func:`implicit_feedback` converts a click log into feedback objects with a
+  position-bias correction: clicks high in the ranking carry less evidence
+  (users click top results regardless of relevance), so a result needs
+  proportionally more clicks the higher it was presented;
+* :class:`SimulatedClicker` generates position-biased clicks from a hidden
+  relevance model — the cascade-style user model used to test the pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Click:
+    """One click event: the result and the rank it was presented at (1-based)."""
+
+    node_id: str
+    rank: int
+
+
+@dataclass
+class ClickLog:
+    """Clicks accumulated for one query across presentations."""
+
+    clicks: list[Click] = field(default_factory=list)
+    presentations: dict[str, int] = field(default_factory=dict)
+
+    def record_presentation(self, ranking: Sequence[str]) -> None:
+        """Count every shown result (needed for click-rate estimates)."""
+        for node_id in ranking:
+            self.presentations[node_id] = self.presentations.get(node_id, 0) + 1
+
+    def record_click(self, node_id: str, rank: int) -> None:
+        if rank < 1:
+            raise ValueError(f"rank must be 1-based, got {rank}")
+        self.clicks.append(Click(node_id, rank))
+
+    def click_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for click in self.clicks:
+            counts[click.node_id] = counts.get(click.node_id, 0) + 1
+        return counts
+
+
+def position_weight(rank: int, bias: float = 0.7) -> float:
+    """Evidence weight of a click at ``rank``: low ranks count more.
+
+    A click at rank 1 is weak evidence (weight ``1 - bias``); a click far
+    down the list is strong evidence (weight approaching 1).  ``bias`` is the
+    strength of the position prior.
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be 1-based, got {rank}")
+    if not 0.0 <= bias < 1.0:
+        raise ValueError(f"bias must be in [0, 1), got {bias}")
+    return 1.0 - bias / rank
+
+
+def implicit_feedback(
+    log: ClickLog, threshold: float = 0.5, limit: int | None = None
+) -> list[str]:
+    """Feedback objects implied by a click log.
+
+    Each result accumulates position-corrected click evidence; results whose
+    evidence per presentation exceeds ``threshold`` become feedback objects,
+    strongest first.  ``limit`` caps the number returned.
+    """
+    evidence: dict[str, float] = {}
+    for click in log.clicks:
+        evidence[click.node_id] = evidence.get(click.node_id, 0.0) + position_weight(
+            click.rank
+        )
+    scored = []
+    for node_id, total in evidence.items():
+        presentations = max(log.presentations.get(node_id, 1), 1)
+        rate = total / presentations
+        if rate >= threshold:
+            scored.append((rate, node_id))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    selected = [node_id for _, node_id in scored]
+    return selected[:limit] if limit is not None else selected
+
+
+class SimulatedClicker:
+    """A cascade-model clicker over a hidden relevant set.
+
+    The user scans the presented list top-down; at each rank they examine the
+    result with probability ``examination ** (rank - 1)`` and click it when
+    it is in their hidden relevant set (plus a small random-click rate).
+    """
+
+    def __init__(
+        self,
+        relevant: set[str],
+        examination: float = 0.85,
+        random_click_rate: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < examination <= 1.0:
+            raise ValueError(f"examination must be in (0, 1], got {examination}")
+        self.relevant = relevant
+        self.examination = examination
+        self.random_click_rate = random_click_rate
+        self._rng = random.Random(seed)
+
+    def browse(self, ranking: Sequence[str], log: ClickLog) -> list[Click]:
+        """Scan one presented ranking, recording clicks into ``log``."""
+        log.record_presentation(ranking)
+        produced = []
+        for rank, node_id in enumerate(ranking, start=1):
+            if self._rng.random() > self.examination ** (rank - 1):
+                continue  # stopped scanning before this rank
+            relevant = node_id in self.relevant
+            if relevant or self._rng.random() < self.random_click_rate:
+                log.record_click(node_id, rank)
+                produced.append(Click(node_id, rank))
+        return produced

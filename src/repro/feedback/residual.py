@@ -1,0 +1,45 @@
+"""Residual-collection evaluation of relevance feedback [RL03, SB90].
+
+Relevance feedback inflates naive precision numbers because the documents the
+user already marked relevant are trivially re-retrieved.  The residual
+collection method removes every object *seen* by the user from both the
+ranking and the relevant set before measuring each subsequent iteration —
+"all objects seen by the user or marked as relevant are removed from the
+collection and both the initial and all reformulated queries are evaluated
+using the residual collection" (Section 6.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.feedback.metrics import precision_at_k
+
+
+@dataclass
+class ResidualCollection:
+    """Tracks seen objects across feedback iterations of one session."""
+
+    seen: set[str] = field(default_factory=set)
+
+    def residual_ranking(self, ranking: Sequence[str]) -> list[str]:
+        """The ranking restricted to unseen objects."""
+        return [item for item in ranking if item not in self.seen]
+
+    def residual_relevant(self, relevant: set[str]) -> set[str]:
+        return relevant - self.seen
+
+    def precision(self, ranking: Sequence[str], relevant: set[str], k: int) -> float:
+        """Precision@k over the residual collection."""
+        return precision_at_k(
+            self.residual_ranking(ranking), self.residual_relevant(relevant), k
+        )
+
+    def mark_seen(self, items: Sequence[str]) -> None:
+        """Record objects that were presented to (seen by) the user."""
+        self.seen.update(items)
+
+    def present(self, ranking: Sequence[str], k: int) -> list[str]:
+        """The top-``k`` unseen objects — what the user is shown next."""
+        return self.residual_ranking(ranking)[:k]

@@ -1,0 +1,78 @@
+"""Rocchio relevance feedback — the traditional-IR baseline [SB90].
+
+The related-work discussion contrasts the paper's link-aware reformulation
+with classic content-only feedback, whose dominant form is Rocchio's
+
+    q' = alpha * q + (beta / |D_r|) * sum d_r - (gamma / |D_n|) * sum d_n
+
+over tf-idf document vectors.  We include it as a substrate baseline: it sees
+only document *content*, never the link structure, which is exactly the
+limitation Section 5 is built to overcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import TfIdfScorer
+from repro.ir.tokenize import DEFAULT_ANALYZER, Analyzer
+from repro.query.query import QueryVector
+
+
+@dataclass
+class RocchioReformulator:
+    """Classic Rocchio with term-count truncation."""
+
+    alpha: float = 1.0
+    beta: float = 0.75
+    gamma: float = 0.15
+    num_terms: int = 10
+    analyzer: Analyzer = DEFAULT_ANALYZER
+
+    def document_vector(self, index: InvertedIndex, doc_id: str) -> dict[str, float]:
+        """tf-idf vector of one document over its own terms."""
+        scorer = TfIdfScorer(index)
+        return {
+            term: scorer.weight(doc_id, term)
+            for term in index.terms_of_document(doc_id)
+        }
+
+    def reformulate(
+        self,
+        query_vector: QueryVector,
+        index: InvertedIndex,
+        relevant_ids: list[str],
+        nonrelevant_ids: list[str] | None = None,
+    ) -> QueryVector:
+        """Apply the Rocchio update and keep the strongest terms.
+
+        Original query terms are always retained; expansion terms beyond the
+        strongest ``num_terms`` are dropped.  Negative weights clamp to zero
+        (standard practice).
+        """
+        nonrelevant_ids = nonrelevant_ids or []
+        centroid: dict[str, float] = {}
+        if relevant_ids:
+            share = self.beta / len(relevant_ids)
+            for doc_id in relevant_ids:
+                for term, weight in self.document_vector(index, doc_id).items():
+                    centroid[term] = centroid.get(term, 0.0) + share * weight
+        if nonrelevant_ids:
+            share = self.gamma / len(nonrelevant_ids)
+            for doc_id in nonrelevant_ids:
+                for term, weight in self.document_vector(index, doc_id).items():
+                    centroid[term] = centroid.get(term, 0.0) - share * weight
+
+        reformulated = QueryVector()
+        for term in query_vector.terms:
+            weight = self.alpha * query_vector.weight(term) + centroid.pop(term, 0.0)
+            reformulated.set_weight(term, max(weight, 0.0))
+
+        expansion = sorted(
+            ((t, w) for t, w in centroid.items() if w > 0 and not self.analyzer.is_stopword(t)),
+            key=lambda item: (-item[1], item[0]),
+        )[: self.num_terms]
+        for term, weight in expansion:
+            reformulated.set_weight(term, weight)
+        return reformulated

@@ -1,0 +1,86 @@
+"""Simulated survey users (the Section 6.1 substitution).
+
+The paper's quality experiments rely on human judges (five internal, ten
+external).  Offline we substitute an *oracle user* with a hidden relevance
+model: the user privately knows the "right" authority transfer rates (the
+[BHP04] ground truth the training experiment tries to recover) and judges an
+object relevant exactly when it appears among the top results of ObjectRank2
+run with those hidden rates.
+
+This reproduces the feedback loop's information structure faithfully:
+
+* the system never sees the hidden rates — only which presented objects the
+  user marks;
+* structure-based reformulation can then be measured on whether it *recovers*
+  the hidden rates (Figure 11's cosine-similarity curves) and on precision
+  against the user's hidden relevant set (Figures 10 and 12);
+* an optional judgment-noise parameter models imperfect humans.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.query.engine import SearchEngine
+from repro.query.query import KeywordQuery, QueryVector
+
+
+class SimulatedUser:
+    """An oracle judge with hidden preferred transfer rates.
+
+    ``relevance_depth`` is the size of the user's private relevant set: the
+    top-``relevance_depth`` objects under the hidden rates.  ``noise`` is the
+    probability of flipping any single judgment (both false negatives on
+    relevant objects and false positives on irrelevant ones).
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        true_rates: AuthorityTransferSchemaGraph,
+        relevance_depth: int = 20,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if relevance_depth < 1:
+            raise ValueError(f"relevance depth must be positive, got {relevance_depth}")
+        if not 0.0 <= noise < 1.0:
+            raise ValueError(f"noise must be in [0, 1), got {noise}")
+        self.engine = engine
+        self.true_rates = true_rates
+        self.relevance_depth = relevance_depth
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self._relevant_cache: dict[tuple[str, ...], set[str]] = {}
+
+    def relevant_set(self, query: KeywordQuery | QueryVector | str) -> set[str]:
+        """The user's private relevant set for the *original* query.
+
+        Judgments are stable across reformulation iterations: relevance is a
+        property of the object and the user's information need, not of the
+        system's current query vector.
+        """
+        vector = self.engine.query_vector(query)
+        key = tuple(sorted(vector.weights))
+        if key not in self._relevant_cache:
+            result = self.engine.search(
+                vector, top_k=self.relevance_depth, rates=self.true_rates
+            )
+            self._relevant_cache[key] = set(result.hit_ids())
+        return self._relevant_cache[key]
+
+    def judge(
+        self, presented: Sequence[str], query: KeywordQuery | QueryVector | str
+    ) -> list[str]:
+        """The subset of ``presented`` the user marks relevant (with noise)."""
+        relevant = self.relevant_set(query)
+        marked = []
+        for node_id in presented:
+            is_relevant = node_id in relevant
+            if self.noise and self._rng.random() < self.noise:
+                is_relevant = not is_relevant
+            if is_relevant:
+                marked.append(node_id)
+        return marked

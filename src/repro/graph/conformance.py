@@ -1,0 +1,58 @@
+"""Conformance of a data graph to a schema graph (Section 2).
+
+A data graph ``D`` conforms to a schema graph ``G`` when there is a unique
+assignment of data-graph nodes to schema-graph nodes (here: the node label
+must be a schema label) and a consistent assignment of edges (every data edge
+must map to a schema edge between the corresponding labels, matching the
+edge's role when one is given).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConformanceError
+from repro.graph.data_graph import DataEdge, DataGraph
+from repro.graph.schema import SchemaEdge, SchemaGraph
+
+
+def find_violations(data_graph: DataGraph, schema: SchemaGraph, limit: int = 50) -> list[str]:
+    """Collect human-readable conformance violations (at most ``limit``)."""
+    violations: list[str] = []
+    for node in data_graph.nodes():
+        if not schema.has_label(node.label):
+            violations.append(f"node {node.node_id!r} has unknown label {node.label!r}")
+            if len(violations) >= limit:
+                return violations
+    for edge in data_graph.edges():
+        if resolve_schema_edge(data_graph, schema, edge) is None:
+            source_label = data_graph.node(edge.source).label
+            target_label = data_graph.node(edge.target).label
+            violations.append(
+                f"edge {edge.source!r}->{edge.target!r} (role {edge.role!r}) has no "
+                f"matching schema edge {source_label!r}->{target_label!r}"
+            )
+            if len(violations) >= limit:
+                return violations
+    return violations
+
+
+def resolve_schema_edge(
+    data_graph: DataGraph, schema: SchemaGraph, edge: DataEdge
+) -> SchemaEdge | None:
+    """Map one data edge to its schema edge, or ``None`` when there is none."""
+    source = data_graph.node(edge.source)
+    target = data_graph.node(edge.target)
+    if not schema.has_label(source.label) or not schema.has_label(target.label):
+        return None
+    return schema.resolve_edge(source.label, target.label, edge.role)
+
+
+def check_conformance(data_graph: DataGraph, schema: SchemaGraph) -> None:
+    """Raise :class:`ConformanceError` if the data graph does not conform."""
+    violations = find_violations(data_graph, schema)
+    if violations:
+        raise ConformanceError(violations)
+
+
+def conforms(data_graph: DataGraph, schema: SchemaGraph) -> bool:
+    """Whether the data graph conforms to the schema graph."""
+    return not find_violations(data_graph, schema, limit=1)

@@ -1,0 +1,161 @@
+"""Labeled data graphs (Section 2).
+
+A data graph ``D(V_D, E_D)`` is a labeled directed graph.  Every node has a
+label (its role/type, e.g. ``"Paper"``), an id, and a tuple of attribute
+name/value pairs; the keywords appearing in the attribute values comprise the
+set of keywords associated with the node.  Edges are labeled with a role
+(e.g. ``"cites"``), which may be omitted when it is evident from the endpoint
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DuplicateNodeError, UnknownNodeError
+
+
+@dataclass(frozen=True)
+class DataNode:
+    """One object of the database.
+
+    ``attributes`` maps attribute names to string values; the node's keyword
+    set is derived from the attribute values (and optionally the attribute
+    names themselves — the paper's "richer semantics by including the
+    metadata").
+    """
+
+    node_id: str
+    label: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def text(self, include_metadata: bool = False) -> str:
+        """The node viewed as a document: its attribute values joined.
+
+        With ``include_metadata`` the attribute *names* are included too
+        (e.g. "Forum", "Year", "Location" become searchable keywords).
+        """
+        parts: list[str] = []
+        for name, value in self.attributes.items():
+            if include_metadata:
+                parts.append(name)
+            parts.append(value)
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label}({self.node_id})"
+
+
+@dataclass(frozen=True, order=True)
+class DataEdge:
+    """One directed edge of the data graph, optionally role-labeled."""
+
+    source: str
+    target: str
+    role: str | None = None
+
+
+class DataGraph:
+    """A labeled directed graph of database objects.
+
+    Node and edge iteration order is insertion order, so everything derived
+    from a graph (dense node indices, rankings with ties, ...) is
+    deterministic for a fixed construction sequence.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, DataNode] = {}
+        self._edges: list[DataEdge] = []
+        self._out: dict[str, list[DataEdge]] = {}
+        self._in: dict[str, list[DataEdge]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(
+        self, node_id: str, label: str, attributes: dict[str, str] | None = None
+    ) -> DataNode:
+        if node_id in self._nodes:
+            raise DuplicateNodeError(node_id)
+        node = DataNode(node_id, label, dict(attributes or {}))
+        self._nodes[node_id] = node
+        self._out[node_id] = []
+        self._in[node_id] = []
+        return node
+
+    def add_edge(self, source: str, target: str, role: str | None = None) -> DataEdge:
+        for node_id in (source, target):
+            if node_id not in self._nodes:
+                raise UnknownNodeError(node_id)
+        edge = DataEdge(source, target, role)
+        self._edges.append(edge)
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return edge
+
+    # -- inspection --------------------------------------------------------
+
+    def node(self, node_id: str) -> DataNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[DataNode]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def edges(self) -> list[DataEdge]:
+        return list(self._edges)
+
+    def out_edges(self, node_id: str) -> list[DataEdge]:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return list(self._out[node_id])
+
+    def in_edges(self, node_id: str) -> list[DataEdge]:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return list(self._in[node_id])
+
+    def out_degree(self, node_id: str) -> int:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return len(self._out[node_id])
+
+    def in_degree(self, node_id: str) -> int:
+        if node_id not in self._nodes:
+            raise UnknownNodeError(node_id)
+        return len(self._in[node_id])
+
+    def nodes_with_label(self, label: str) -> list[DataNode]:
+        return [n for n in self._nodes.values() if n.label == label]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def label_counts(self) -> dict[str, int]:
+        """Number of nodes per label (for Table-1-style statistics)."""
+        counts: dict[str, int] = {}
+        for node in self._nodes.values():
+            counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataGraph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,74 @@
+"""NetworkX interoperability.
+
+Downstream users often already hold their data as a ``networkx`` graph or
+want to hand our graphs to networkx algorithms (visualization layouts,
+connectivity analysis, alternative centralities).  This module converts in
+both directions:
+
+* :func:`to_networkx` / :func:`from_networkx` — data graphs, preserving node
+  labels, attributes and edge roles;
+* :func:`transfer_graph_to_networkx` — the materialized authority transfer
+  data graph with per-edge rates, ready for e.g.
+  ``networkx.pagerank(G, weight="rate")`` cross-checks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph.data_graph import DataGraph
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+
+_LABEL_KEY = "label"
+_ROLE_KEY = "role"
+
+
+def to_networkx(graph: DataGraph) -> nx.MultiDiGraph:
+    """A MultiDiGraph mirror of a data graph (parallel edges preserved)."""
+    mirror = nx.MultiDiGraph()
+    for node in graph.nodes():
+        mirror.add_node(node.node_id, label=node.label, **node.attributes)
+    for edge in graph.edges():
+        mirror.add_edge(edge.source, edge.target, role=edge.role)
+    return mirror
+
+
+def from_networkx(mirror: nx.DiGraph | nx.MultiDiGraph) -> DataGraph:
+    """Rebuild a data graph from a (Multi)DiGraph produced by
+    :func:`to_networkx` or hand-built with the same conventions.
+
+    Each node needs a ``label`` attribute; remaining attributes become the
+    node's attribute map.  Edge ``role`` attributes are optional.
+    """
+    graph = DataGraph()
+    for node_id, attributes in mirror.nodes(data=True):
+        payload = dict(attributes)
+        label = payload.pop(_LABEL_KEY, None)
+        if label is None:
+            raise ValueError(f"node {node_id!r} has no 'label' attribute")
+        graph.add_node(str(node_id), str(label), {k: str(v) for k, v in payload.items()})
+    if mirror.is_multigraph():
+        edge_iter = ((u, v, data) for u, v, _key, data in mirror.edges(keys=True, data=True))
+    else:
+        edge_iter = mirror.edges(data=True)
+    for source, target, data in edge_iter:
+        graph.add_edge(str(source), str(target), data.get(_ROLE_KEY))
+    return graph
+
+
+def transfer_graph_to_networkx(graph: AuthorityTransferDataGraph) -> nx.MultiDiGraph:
+    """The authority transfer data graph with ``rate`` and ``role`` per edge."""
+    mirror = nx.MultiDiGraph()
+    for node_id in graph.node_ids:
+        node = graph.data_graph.node(node_id)
+        mirror.add_node(node_id, label=node.label)
+    for edge_id in range(graph.num_edges):
+        edge_type = graph.edge_type_of(edge_id)
+        mirror.add_edge(
+            graph.node_id_of(int(graph.edge_source[edge_id])),
+            graph.node_id_of(int(graph.edge_target[edge_id])),
+            rate=float(graph.edge_rate[edge_id]),
+            role=edge_type.role,
+            direction=edge_type.direction.value,
+        )
+    return mirror

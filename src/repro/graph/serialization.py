@@ -1,0 +1,109 @@
+"""JSON (de)serialization of graphs and transfer schemas.
+
+The online ObjectRank2 demo the paper describes keeps its datasets on disk;
+we provide a plain-JSON format so generated datasets can be saved, shared and
+reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.graph.authority import AuthorityTransferSchemaGraph, Direction, EdgeType
+from repro.graph.data_graph import DataGraph
+from repro.graph.schema import SchemaEdge, SchemaGraph
+
+
+def schema_to_dict(schema: SchemaGraph) -> dict[str, Any]:
+    """A JSON-ready dict of a schema graph."""
+    return {
+        "labels": schema.labels,
+        "edges": [[e.source, e.target, e.role] for e in schema.edges],
+    }
+
+
+def schema_from_dict(payload: dict[str, Any]) -> SchemaGraph:
+    """Rebuild a schema graph from :func:`schema_to_dict` output."""
+    schema = SchemaGraph()
+    for label in payload["labels"]:
+        schema.add_label(label)
+    for source, target, role in payload["edges"]:
+        schema.add_edge(source, target, role)
+    return schema
+
+
+def transfer_schema_to_dict(atsg: AuthorityTransferSchemaGraph) -> dict[str, Any]:
+    """A JSON-ready dict of a transfer schema (schema + per-type rates)."""
+    return {
+        "schema": schema_to_dict(atsg.schema),
+        "epsilon": atsg.epsilon,
+        "rates": [
+            {
+                "source": t.schema_edge.source,
+                "target": t.schema_edge.target,
+                "role": t.schema_edge.role,
+                "direction": t.direction.value,
+                "rate": atsg.rate(t),
+            }
+            for t in atsg.edge_types()
+        ],
+    }
+
+
+def transfer_schema_from_dict(payload: dict[str, Any]) -> AuthorityTransferSchemaGraph:
+    """Rebuild a transfer schema from :func:`transfer_schema_to_dict` output."""
+    schema = schema_from_dict(payload["schema"])
+    rates = {
+        EdgeType(
+            SchemaEdge(entry["source"], entry["target"], entry["role"]),
+            Direction(entry["direction"]),
+        ): entry["rate"]
+        for entry in payload["rates"]
+    }
+    return AuthorityTransferSchemaGraph(schema, rates, epsilon=payload.get("epsilon", 0.0))
+
+
+def data_graph_to_dict(graph: DataGraph) -> dict[str, Any]:
+    """A JSON-ready dict of a data graph (nodes, attributes, edges)."""
+    return {
+        "nodes": [
+            {"id": n.node_id, "label": n.label, "attributes": n.attributes}
+            for n in graph.nodes()
+        ],
+        "edges": [[e.source, e.target, e.role] for e in graph.edges()],
+    }
+
+
+def data_graph_from_dict(payload: dict[str, Any]) -> DataGraph:
+    """Rebuild a data graph from :func:`data_graph_to_dict` output."""
+    graph = DataGraph()
+    for entry in payload["nodes"]:
+        graph.add_node(entry["id"], entry["label"], entry.get("attributes", {}))
+    for source, target, role in payload["edges"]:
+        graph.add_edge(source, target, role)
+    return graph
+
+
+def save_dataset(
+    path: str | Path,
+    graph: DataGraph,
+    transfer_schema: AuthorityTransferSchemaGraph,
+    name: str = "",
+) -> None:
+    """Write a (data graph, transfer schema) pair to one JSON file."""
+    payload = {
+        "name": name,
+        "transfer_schema": transfer_schema_to_dict(transfer_schema),
+        "data_graph": data_graph_to_dict(graph),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_dataset(path: str | Path) -> tuple[DataGraph, AuthorityTransferSchemaGraph, str]:
+    """Read back a file written by :func:`save_dataset`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    graph = data_graph_from_dict(payload["data_graph"])
+    transfer_schema = transfer_schema_from_dict(payload["transfer_schema"])
+    return graph, transfer_schema, payload.get("name", "")

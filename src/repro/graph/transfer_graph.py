@@ -1,0 +1,183 @@
+"""Authority transfer data graphs (Section 2, Figure 5, Equation 1).
+
+Given a data graph ``D`` that conforms to an authority transfer schema graph
+``G^A``, the authority transfer data graph ``D^A`` has, for every data edge
+``e = (u -> v)``, two transfer edges: ``e^f = (u -> v)`` and ``e^b =
+(v -> u)``.  A transfer edge of type ``e_G^f`` leaving ``u`` carries the rate
+
+    alpha(e^f) = alpha(e_G^f) / OutDeg(u, e_G^f)        (Equation 1)
+
+where ``OutDeg(u, e_G^f)`` is the number of outgoing transfer edges of that
+type at ``u`` (and 0-outdegree means rate 0, vacuously).
+
+This module materializes ``D^A`` with dense integer node indices and flat
+numpy edge arrays, so that:
+
+* the ObjectRank transition matrix is one ``scipy.sparse`` construction away,
+* transfer rates can be *recomputed in O(edges)* when a structure-based
+  reformulation (Section 5.2) changes the schema-level rates — the topology
+  and out-degree counts never change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.graph.authority import AuthorityTransferSchemaGraph, Direction, EdgeType
+from repro.graph.conformance import check_conformance, resolve_schema_edge
+from repro.graph.data_graph import DataGraph
+
+
+class AuthorityTransferDataGraph:
+    """The materialized authority transfer data graph ``D^A``.
+
+    Transfer edges are stored as parallel numpy arrays ``edge_source``,
+    ``edge_target``, ``edge_type_index`` (index into :attr:`edge_types`) and
+    ``edge_rate``.  Edge ids are positions into these arrays; data edge ``k``
+    of the data graph produces transfer edges ``2k`` (forward) and ``2k + 1``
+    (backward).
+    """
+
+    def __init__(
+        self,
+        data_graph: DataGraph,
+        transfer_schema: AuthorityTransferSchemaGraph,
+        validate: bool = True,
+    ) -> None:
+        if validate:
+            check_conformance(data_graph, transfer_schema.schema)
+        self.data_graph = data_graph
+        self.node_ids: list[str] = data_graph.node_ids()
+        self._node_index: dict[str, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self.num_nodes = len(self.node_ids)
+
+        self.edge_types: list[EdgeType] = transfer_schema.edge_types()
+        type_index = {t: i for i, t in enumerate(self.edge_types)}
+
+        sources: list[int] = []
+        targets: list[int] = []
+        types: list[int] = []
+        schema = transfer_schema.schema
+        for edge in data_graph.edges():
+            schema_edge = resolve_schema_edge(data_graph, schema, edge)
+            if schema_edge is None:  # pragma: no cover - caught by validate
+                raise GraphError(f"edge {edge} has no schema edge")
+            u = self._node_index[edge.source]
+            v = self._node_index[edge.target]
+            sources.extend((u, v))
+            targets.extend((v, u))
+            types.append(type_index[EdgeType(schema_edge, Direction.FORWARD)])
+            types.append(type_index[EdgeType(schema_edge, Direction.BACKWARD)])
+
+        self.edge_source = np.asarray(sources, dtype=np.int64)
+        self.edge_target = np.asarray(targets, dtype=np.int64)
+        self.edge_type_index = np.asarray(types, dtype=np.int64)
+        self.num_edges = len(self.edge_source)
+
+        # OutDeg(u, edge_type): count transfer edges grouped by (source, type).
+        num_types = max(len(self.edge_types), 1)
+        group_key = self.edge_source * num_types + self.edge_type_index
+        counts = np.bincount(group_key, minlength=self.num_nodes * num_types)
+        self._edge_out_degree = (
+            counts[group_key] if self.num_edges else np.zeros(0, dtype=np.int64)
+        )
+
+        self._transfer_schema = transfer_schema
+        self.edge_rate = np.zeros(self.num_edges, dtype=np.float64)
+        self._matrix: sparse.csr_matrix | None = None
+        self._out_index = _build_incidence(self.edge_source, self.num_nodes, self.num_edges)
+        self._in_index = _build_incidence(self.edge_target, self.num_nodes, self.num_edges)
+        self._recompute_rates()
+
+    # -- node id <-> dense index ------------------------------------------
+
+    def index_of(self, node_id: str) -> int:
+        try:
+            return self._node_index[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def node_id_of(self, index: int) -> str:
+        return self.node_ids[index]
+
+    def indices_of(self, node_ids: list[str]) -> np.ndarray:
+        return np.asarray([self.index_of(nid) for nid in node_ids], dtype=np.int64)
+
+    def label_of(self, index: int) -> str:
+        return self.data_graph.node(self.node_ids[index]).label
+
+    # -- transfer rates -----------------------------------------------------
+
+    @property
+    def transfer_schema(self) -> AuthorityTransferSchemaGraph:
+        return self._transfer_schema
+
+    def set_transfer_rates(self, transfer_schema: AuthorityTransferSchemaGraph) -> None:
+        """Swap in new schema-level rates and recompute all edge rates.
+
+        The new graph must be over the same schema (same canonical edge-type
+        list); only the rate values may differ.  This is the cheap operation
+        that makes iterative structure-based reformulation practical.
+        """
+        if transfer_schema.edge_types() != self.edge_types:
+            raise GraphError("new transfer schema has different edge types")
+        self._transfer_schema = transfer_schema
+        self._recompute_rates()
+
+    def _recompute_rates(self) -> None:
+        alphas = np.asarray(
+            [self._transfer_schema.rate(t) for t in self.edge_types], dtype=np.float64
+        )
+        if self.num_edges:
+            self.edge_rate = alphas[self.edge_type_index] / self._edge_out_degree
+        self._matrix = None
+
+    # -- matrix + adjacency views --------------------------------------------
+
+    def matrix(self) -> sparse.csr_matrix:
+        """Transition matrix ``A`` with ``A[j, i] = alpha(e)`` for edge i->j.
+
+        With this orientation one authority-flow step is the matrix-vector
+        product ``A @ r`` (Equation 4).  Parallel transfer edges between the
+        same node pair have their rates summed.
+        """
+        if self._matrix is None:
+            self._matrix = sparse.csr_matrix(
+                (self.edge_rate, (self.edge_target, self.edge_source)),
+                shape=(self.num_nodes, self.num_nodes),
+            )
+        return self._matrix
+
+    def out_edge_ids(self, index: int) -> np.ndarray:
+        """Ids of transfer edges leaving node ``index``."""
+        start, end = self._out_index[0][index], self._out_index[0][index + 1]
+        return self._out_index[1][start:end]
+
+    def in_edge_ids(self, index: int) -> np.ndarray:
+        """Ids of transfer edges entering node ``index``."""
+        start, end = self._in_index[0][index], self._in_index[0][index + 1]
+        return self._in_index[1][start:end]
+
+    def edge_type_of(self, edge_id: int) -> EdgeType:
+        return self.edge_types[self.edge_type_index[edge_id]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AuthorityTransferDataGraph(nodes={self.num_nodes}, "
+            f"transfer_edges={self.num_edges})"
+        )
+
+
+def _build_incidence(
+    endpoint: np.ndarray, num_nodes: int, num_edges: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style (indptr, edge_ids) index grouping edge ids by one endpoint."""
+    order = np.argsort(endpoint, kind="stable").astype(np.int64)
+    counts = np.bincount(endpoint, minlength=num_nodes) if num_edges else np.zeros(
+        num_nodes, dtype=np.int64
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, order

@@ -1,0 +1,143 @@
+"""Inverted index over the nodes of a data graph.
+
+Every node is a document (Section 3: "a node is also viewed as a document").
+The index records term frequencies, document frequencies, document lengths in
+characters (the ``dl`` of Okapi, Equation 3) and the corpus statistics needed
+by the scorers in :mod:`repro.ir.scoring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.data_graph import DataGraph
+from repro.ir.tokenize import DEFAULT_ANALYZER, Analyzer
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, term-frequency) entry in a postings list."""
+
+    doc_id: str
+    tf: int
+
+
+class InvertedIndex:
+    """An in-memory inverted index with tf/df/dl statistics.
+
+    Build it either from raw ``(doc_id, text)`` pairs with
+    :meth:`from_documents` or directly from a data graph with
+    :meth:`from_graph`.
+    """
+
+    def __init__(self, analyzer: Analyzer = DEFAULT_ANALYZER) -> None:
+        self.analyzer = analyzer
+        self._postings: dict[str, dict[str, int]] = {}
+        self._doc_terms: dict[str, dict[str, int]] = {}
+        self._doc_length: dict[str, int] = {}
+        self._total_length = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_documents(
+        cls, documents: Iterable[tuple[str, str]], analyzer: Analyzer = DEFAULT_ANALYZER
+    ) -> "InvertedIndex":
+        index = cls(analyzer)
+        for doc_id, text in documents:
+            index.add_document(doc_id, text)
+        return index
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DataGraph,
+        analyzer: Analyzer = DEFAULT_ANALYZER,
+        include_metadata: bool = False,
+    ) -> "InvertedIndex":
+        """Index every node of ``graph``; node ids become document ids."""
+        return cls.from_documents(
+            ((node.node_id, node.text(include_metadata)) for node in graph.nodes()),
+            analyzer,
+        )
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document.  Re-adding an id replaces the old content."""
+        if doc_id in self._doc_length:
+            self.remove_document(doc_id)
+        self._doc_length[doc_id] = len(text)
+        self._total_length += len(text)
+        terms: dict[str, int] = {}
+        for term in self.analyzer.terms(text):
+            postings = self._postings.setdefault(term, {})
+            postings[doc_id] = postings.get(doc_id, 0) + 1
+            terms[term] = terms.get(term, 0) + 1
+        self._doc_terms[doc_id] = terms
+
+    def remove_document(self, doc_id: str) -> None:
+        """Drop a document from the index (used by residual-collection eval)."""
+        if doc_id not in self._doc_length:
+            return
+        self._total_length -= self._doc_length.pop(doc_id)
+        for term in self._doc_terms.pop(doc_id, ()):
+            postings = self._postings[term]
+            del postings[doc_id]
+            if not postings:
+                del self._postings[term]
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_length)
+
+    @property
+    def average_document_length(self) -> float:
+        """``avdl`` of Equation 3 (characters, as in the paper)."""
+        if not self._doc_length:
+            return 0.0
+        return self._total_length / len(self._doc_length)
+
+    def document_length(self, doc_id: str) -> int:
+        return self._doc_length.get(doc_id, 0)
+
+    def has_document(self, doc_id: str) -> bool:
+        return doc_id in self._doc_length
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        return self._postings.get(term, {}).get(doc_id, 0)
+
+    def terms_of_document(self, doc_id: str) -> dict[str, int]:
+        """Forward view: term -> tf for one document (empty if unknown)."""
+        return dict(self._doc_terms.get(doc_id, {}))
+
+    def postings(self, term: str) -> list[Posting]:
+        return [Posting(d, tf) for d, tf in self._postings.get(term, {}).items()]
+
+    def documents_with_term(self, term: str) -> list[str]:
+        return list(self._postings.get(term, ()))
+
+    def documents_with_any(self, terms: Iterable[str]) -> list[str]:
+        """Documents containing at least one of ``terms`` — the raw base set
+        ``S(Q)`` of a keyword query, in deterministic first-hit order."""
+        seen: dict[str, None] = {}
+        for term in terms:
+            for doc_id in self._postings.get(term, ()):
+                seen.setdefault(doc_id)
+        return list(seen)
+
+    def vocabulary(self) -> list[str]:
+        return list(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InvertedIndex(documents={self.num_documents}, "
+            f"terms={len(self._postings)})"
+        )

@@ -1,0 +1,135 @@
+"""IR scoring functions: Okapi BM25 (Equation 3) and tf-idf.
+
+ObjectRank2 weights the base set of a query by IR scores:
+
+    IRScore(v, Q) = v . Q                                   (Equation 2)
+
+where ``v = [W(v, t_1), ..., W(v, t_m)]`` is the document vector over the
+query terms and ``W(v, t)`` is a traditional IR weight such as Okapi/BM25
+(Equation 3).  Scorers here expose both the per-term weight ``W(v, t)`` and
+the full dot-product score.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Protocol
+
+from repro.ir.index import InvertedIndex
+
+
+class Scorer(Protocol):
+    """Anything that can weight a (document, term) pair and score a query."""
+
+    index: InvertedIndex
+
+    def weight(self, doc_id: str, term: str) -> float:
+        """The IR weight ``W(v, t)`` of ``term`` for document ``doc_id``."""
+        ...  # pragma: no cover - protocol
+
+    def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
+        """``IRScore(v, Q)``: dot product of document and query vectors."""
+        ...  # pragma: no cover - protocol
+
+
+class BM25Scorer:
+    """Okapi BM25 weighting, following Equation 3 of the paper.
+
+    For a term ``t`` and document ``v``::
+
+        W(v, t) = ln((n - df + 0.5) / (df + 0.5))
+                  * (k1 + 1) tf / (k1 ((1 - b) + b dl/avdl) + tf)
+
+    where ``dl`` is the document size in characters and ``avdl`` the average —
+    the paper's stated choice of the document-length statistic.  The query-side
+    saturation ``(k3 + 1) qtf / (k3 + qtf)`` is applied to the query weight in
+    :meth:`score`.  The idf factor is clamped at zero so that base-set jump
+    probabilities are never negative (the paper normalizes the scores of the
+    base set "to sum to one, since they represent probabilities").
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        k1: float = 1.2,
+        b: float = 0.75,
+        k3: float = 1000.0,
+    ) -> None:
+        if not 1.0 <= k1 <= 2.0:
+            raise ValueError(f"k1 must be in [1.0, 2.0] (paper, Eq. 3), got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        if not 0.0 <= k3 <= 1000.0:
+            raise ValueError(f"k3 must be in [0, 1000] (paper, Eq. 3), got {k3}")
+        self.index = index
+        self.k1 = k1
+        self.b = b
+        self.k3 = k3
+
+    def idf(self, term: str) -> float:
+        n = self.index.num_documents
+        df = self.index.document_frequency(term)
+        if df == 0 or n == 0:
+            return 0.0
+        return max(math.log((n - df + 0.5) / (df + 0.5)), 0.0)
+
+    def weight(self, doc_id: str, term: str) -> float:
+        tf = self.index.term_frequency(term, doc_id)
+        if tf == 0:
+            return 0.0
+        dl = self.index.document_length(doc_id)
+        avdl = self.index.average_document_length or 1.0
+        saturation = ((self.k1 + 1) * tf) / (
+            self.k1 * ((1 - self.b) + self.b * dl / avdl) + tf
+        )
+        return self.idf(term) * saturation
+
+    def query_weight(self, raw_weight: float) -> float:
+        """Query-side saturation ``(k3 + 1) qtf / (k3 + qtf)`` of Equation 3."""
+        if raw_weight <= 0:
+            return 0.0
+        return ((self.k3 + 1) * raw_weight) / (self.k3 + raw_weight)
+
+    def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
+        return sum(
+            self.weight(doc_id, term) * self.query_weight(qw)
+            for term, qw in query_weights.items()
+        )
+
+
+class TfIdfScorer:
+    """A classic ltc-style tf-idf scorer, provided as a calibration baseline."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+
+    def weight(self, doc_id: str, term: str) -> float:
+        tf = self.index.term_frequency(term, doc_id)
+        if tf == 0:
+            return 0.0
+        n = self.index.num_documents
+        df = self.index.document_frequency(term)
+        return (1.0 + math.log(tf)) * math.log(1.0 + n / df)
+
+    def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
+        return sum(self.weight(doc_id, term) * qw for term, qw in query_weights.items())
+
+
+class UniformScorer:
+    """Degenerate scorer giving weight 1 to any contained term.
+
+    With this scorer, ObjectRank2 collapses to the original ObjectRank's 0/1
+    base set [BHP04]; it exists to make the ObjectRank-vs-ObjectRank2
+    comparison of Table 2 a one-parameter switch.
+    """
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+
+    def weight(self, doc_id: str, term: str) -> float:
+        return 1.0 if self.index.term_frequency(term, doc_id) > 0 else 0.0
+
+    def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
+        return 1.0 if any(
+            self.weight(doc_id, term) > 0 and qw > 0 for term, qw in query_weights.items()
+        ) else 0.0

@@ -1,0 +1,129 @@
+"""The search engine: base-set computation + ObjectRank2 over one dataset.
+
+:class:`SearchEngine` owns the indexed view of a dataset (authority transfer
+data graph, inverted index, IR scorer) and exposes one ``search`` call.  It is
+deliberately stateless across queries — session state (current query vector,
+learned rates, warm-start scores) lives in
+:class:`repro.core.system.ObjectRankSystem`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.graph.data_graph import DataGraph
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import BM25Scorer, Scorer
+from repro.ir.tokenize import DEFAULT_ANALYZER, Analyzer
+from repro.query.query import KeywordQuery, QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.ranking.objectrank2 import objectrank2
+from repro.ranking.pagerank import (
+    DEFAULT_DAMPING,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+)
+
+
+@dataclass
+class SearchResult:
+    """A ranked answer: the top-k hits plus full scores and accounting."""
+
+    query_vector: QueryVector
+    ranked: RankedResult
+    top: list[tuple[str, float]]
+    elapsed_seconds: float
+
+    @property
+    def iterations(self) -> int:
+        return self.ranked.iterations
+
+    @property
+    def scores(self) -> np.ndarray:
+        return self.ranked.scores
+
+    def hit_ids(self) -> list[str]:
+        return [node_id for node_id, _ in self.top]
+
+
+@dataclass
+class SearchEngine:
+    """ObjectRank2 search over one data graph.
+
+    ``transfer_schema`` supplies the *initial* authority transfer rates; a
+    per-call override supports learned rates without mutating shared state
+    (each :class:`SimulatedUser` and each feedback session can carry its own
+    rates against one shared engine).
+    """
+
+    data_graph: DataGraph
+    transfer_schema: AuthorityTransferSchemaGraph
+    analyzer: Analyzer = field(default_factory=lambda: DEFAULT_ANALYZER)
+    damping: float = DEFAULT_DAMPING
+    tolerance: float = DEFAULT_TOLERANCE
+    max_iterations: int = DEFAULT_MAX_ITERATIONS
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        self.graph = AuthorityTransferDataGraph(
+            self.data_graph, self.transfer_schema, validate=self.validate
+        )
+        self.index = InvertedIndex.from_graph(self.data_graph, self.analyzer)
+        self.scorer: Scorer = BM25Scorer(self.index)
+
+    def query_vector(self, query: KeywordQuery | QueryVector | str) -> QueryVector:
+        """Normalize any accepted query form into a weighted query vector."""
+        if isinstance(query, QueryVector):
+            return query
+        if isinstance(query, str):
+            query = KeywordQuery.parse(query, self.analyzer)
+        return query.vector()
+
+    def search(
+        self,
+        query: KeywordQuery | QueryVector | str,
+        top_k: int = 10,
+        rates: AuthorityTransferSchemaGraph | None = None,
+        init: np.ndarray | None = None,
+        labels: tuple[str, ...] | None = None,
+    ) -> SearchResult:
+        """Run ObjectRank2 and return the top-``top_k`` objects.
+
+        ``rates`` overrides the transfer rates for this call (the learned
+        rates of a feedback session); ``init`` warm-starts the power iteration
+        with a previous score vector (Section 6.2); ``labels`` restricts the
+        returned hits to the given node types (e.g. only ``("Paper",)`` —
+        authority hubs like Year nodes still influence scores but are not
+        shown).
+        """
+        vector = self.query_vector(query)
+        if rates is not None and rates != self.graph.transfer_schema:
+            self.graph.set_transfer_rates(rates)
+        start = time.perf_counter()
+        ranked = objectrank2(
+            self.graph,
+            self.scorer,
+            vector,
+            self.damping,
+            self.tolerance,
+            self.max_iterations,
+            init,
+        )
+        elapsed = time.perf_counter() - start
+        if labels is None:
+            top = ranked.top_k(top_k)
+        else:
+            wanted = set(labels)
+            index_of = {node_id: i for i, node_id in enumerate(ranked.node_ids)}
+            top = []
+            for node_id in ranked.ranking():
+                if self.data_graph.node(node_id).label in wanted:
+                    top.append((node_id, float(ranked.scores[index_of[node_id]])))
+                    if len(top) == top_k:
+                        break
+        return SearchResult(vector, ranked, top, elapsed)

@@ -1,0 +1,59 @@
+"""Authority-flow ranking: PageRank, ObjectRank, ObjectRank2 and baselines
+(Section 3, Equations 4 and 16)."""
+
+from repro.ranking.compare import RankChange, RankingDelta, ranking_delta
+from repro.ranking.convergence import PowerIterationResult, RankedResult
+from repro.ranking.focused import FocusedResult, focused_neighborhood, focused_objectrank2
+from repro.ranking.hits import HitsResult, hits
+from repro.ranking.ir_only import ir_only_rank
+from repro.ranking.objectrank import (
+    base_set,
+    global_objectrank,
+    keyword_objectrank,
+    multi_keyword_objectrank,
+    normalizing_exponent,
+    objectrank,
+)
+from repro.ranking.objectrank2 import objectrank2, weighted_base_set
+from repro.ranking.pagerank import (
+    DEFAULT_DAMPING,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    pagerank,
+    personalized_pagerank,
+    power_iteration,
+)
+from repro.ranking.precompute import PrecomputedRanker
+from repro.ranking.topk import objectrank2_topk
+from repro.ranking.topic_sensitive import TopicSensitiveRanker
+
+__all__ = [
+    "DEFAULT_DAMPING",
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_TOLERANCE",
+    "FocusedResult",
+    "HitsResult",
+    "PowerIterationResult",
+    "PrecomputedRanker",
+    "RankChange",
+    "RankedResult",
+    "RankingDelta",
+    "TopicSensitiveRanker",
+    "base_set",
+    "focused_neighborhood",
+    "focused_objectrank2",
+    "global_objectrank",
+    "hits",
+    "ir_only_rank",
+    "keyword_objectrank",
+    "multi_keyword_objectrank",
+    "normalizing_exponent",
+    "objectrank",
+    "objectrank2",
+    "objectrank2_topk",
+    "pagerank",
+    "personalized_pagerank",
+    "power_iteration",
+    "ranking_delta",
+    "weighted_base_set",
+]

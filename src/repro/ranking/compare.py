@@ -1,0 +1,95 @@
+"""Ranking comparison: what changed after a reformulation.
+
+The interactive loop shows users a new ranking after each feedback round;
+understanding *what moved and why* is half the value of explanation.  This
+module diffs two rankings into a structured, displayable delta: entries that
+rose, fell, entered or left the visible window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RankChange:
+    """One item's movement between two rankings (1-based positions)."""
+
+    node_id: str
+    before: int | None  # None = not in the previous window
+    after: int | None  # None = dropped out of the new window
+
+    @property
+    def kind(self) -> str:
+        """One of ``entered``, ``dropped``, ``up``, ``down``, ``same``."""
+        if self.before is None:
+            return "entered"
+        if self.after is None:
+            return "dropped"
+        if self.after < self.before:
+            return "up"
+        if self.after > self.before:
+            return "down"
+        return "same"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "entered":
+            return f"+ {self.node_id} (new at #{self.after})"
+        if self.kind == "dropped":
+            return f"- {self.node_id} (was #{self.before})"
+        arrow = {"up": "^", "down": "v", "same": "="}[self.kind]
+        return f"{arrow} {self.node_id} (#{self.before} -> #{self.after})"
+
+
+@dataclass(frozen=True)
+class RankingDelta:
+    """The full diff of two ranking windows."""
+
+    changes: tuple[RankChange, ...]
+
+    def of_kind(self, kind: str) -> list[RankChange]:
+        """Changes of one movement kind (entered/dropped/up/down/same)."""
+        return [change for change in self.changes if change.kind == kind]
+
+    @property
+    def stable_fraction(self) -> float:
+        """Fraction of the union of both windows that kept its position."""
+        if not self.changes:
+            return 1.0
+        return len(self.of_kind("same")) / len(self.changes)
+
+    def summary(self) -> str:
+        """One line: counts per movement kind."""
+        kinds = ("up", "down", "entered", "dropped", "same")
+        parts = [f"{kind}: {len(self.of_kind(kind))}" for kind in kinds]
+        return ", ".join(parts)
+
+
+def ranking_delta(
+    before: Sequence[str], after: Sequence[str], window: int | None = None
+) -> RankingDelta:
+    """Diff two rankings, optionally restricted to the top-``window``.
+
+    Changes are ordered: risers first (largest jump first), then new
+    entries, then fallers, drops, and unchanged items.
+    """
+    before = list(before)[:window] if window else list(before)
+    after = list(after)[:window] if window else list(after)
+    before_pos = {node_id: i + 1 for i, node_id in enumerate(before)}
+    after_pos = {node_id: i + 1 for i, node_id in enumerate(after)}
+
+    changes = []
+    for node_id in dict.fromkeys([*after, *before]):
+        changes.append(
+            RankChange(node_id, before_pos.get(node_id), after_pos.get(node_id))
+        )
+
+    def sort_key(change: RankChange):
+        order = {"up": 0, "entered": 1, "down": 2, "dropped": 3, "same": 4}
+        movement = 0
+        if change.before is not None and change.after is not None:
+            movement = change.after - change.before
+        return (order[change.kind], movement, change.node_id)
+
+    return RankingDelta(tuple(sorted(changes, key=sort_key)))

@@ -1,0 +1,51 @@
+"""Pure-IR ranking baseline (no link structure).
+
+The paper's motivating claim (Sections 1 and 7): traditional IR ranking
+"misses objects that are much related to the keywords, although they do not
+contain them" — the "Data Cube" paper for the query "OLAP".  This baseline
+ranks nodes purely by IR score so that the claim is testable: any node
+without a query term scores exactly zero here, while ObjectRank2 can rank it
+first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyBaseSetError
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ir.scoring import Scorer
+from repro.query.query import QueryVector
+from repro.ranking.convergence import RankedResult
+
+
+def ir_only_rank(
+    graph: AuthorityTransferDataGraph,
+    scorer: Scorer,
+    query_vector: QueryVector,
+) -> RankedResult:
+    """Rank nodes by ``IRScore(v, Q)`` alone (Equation 2, no authority flow).
+
+    Returned as a :class:`RankedResult` (iterations = 0) so it slots into any
+    comparison harness next to the authority-flow rankers.  Raises
+    :class:`EmptyBaseSetError` when no node matches any query term, matching
+    the authority-flow rankers' contract.
+    """
+    terms = [t for t in query_vector.terms if query_vector.weight(t) > 0]
+    candidates = scorer.index.documents_with_any(terms)
+    if not candidates:
+        raise EmptyBaseSetError(tuple(terms))
+    weights = query_vector.weights
+    scores = np.zeros(graph.num_nodes)
+    base: dict[str, float] = {}
+    for doc_id in candidates:
+        score = scorer.score(doc_id, weights)
+        scores[graph.index_of(doc_id)] = score
+        base[doc_id] = score
+    return RankedResult(
+        node_ids=graph.node_ids,
+        scores=scores,
+        iterations=0,
+        converged=True,
+        base_weights=base,
+    )

@@ -1,0 +1,86 @@
+"""ObjectRank2: authority flow with an IR-weighted base set (Section 3).
+
+The single change relative to ObjectRank [BHP04] is the base-set vector ``s``
+of Equation 4: instead of 0/1 entries, ``s_i = IRScore(v_i, Q)`` for base-set
+nodes, normalized to sum to one ("since they represent probabilities").  The
+random surfer therefore jumps preferentially to base-set nodes whose text
+matches the weighted query vector best — which is also what lets reformulated
+(expanded, reweighted) queries of Section 5 influence the ranking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import EmptyBaseSetError
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ir.scoring import Scorer
+
+if TYPE_CHECKING:  # avoid a circular import: repro.query depends on ranking
+    from repro.query.query import QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.ranking.pagerank import (
+    DEFAULT_DAMPING,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    power_iteration,
+)
+
+
+def weighted_base_set(scorer: Scorer, query_vector: QueryVector) -> dict[str, float]:
+    """The IR-weighted base set: node id -> normalized jump probability.
+
+    Nodes enter the base set when they contain at least one positive-weight
+    query term; each node's raw weight is ``IRScore(v, Q)`` (Equation 2) and
+    the weights are normalized to sum to one.  Nodes whose IR score degenerates
+    to zero (e.g. a term present in every document) are kept with a uniform
+    share of the smallest positive score, so the base set never silently
+    shrinks below ``S(Q)``.
+    """
+    terms = [t for t in query_vector.terms if query_vector.weight(t) > 0]
+    candidates = scorer.index.documents_with_any(terms)
+    if not candidates:
+        raise EmptyBaseSetError(tuple(terms))
+
+    weights = query_vector.weights
+    raw = {doc_id: scorer.score(doc_id, weights) for doc_id in candidates}
+    positive = [w for w in raw.values() if w > 0]
+    floor = min(positive) if positive else 1.0
+    adjusted = {doc_id: (w if w > 0 else floor) for doc_id, w in raw.items()}
+    total = sum(adjusted.values())
+    return {doc_id: w / total for doc_id, w in adjusted.items()}
+
+
+def objectrank2(
+    graph: AuthorityTransferDataGraph,
+    scorer: Scorer,
+    query_vector: QueryVector,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    init: np.ndarray | None = None,
+) -> RankedResult:
+    """Compute ObjectRank2 scores for a weighted query vector (Equation 4).
+
+    ``init`` warm-starts the power iteration with a previous score vector
+    (Section 6.2); the benchmarks for Figures 14b-17b use it to reproduce the
+    iteration-count drop for reformulated queries.
+    """
+    base = weighted_base_set(scorer, query_vector)
+    restart = np.zeros(graph.num_nodes)
+    for node_id, weight in base.items():
+        restart[graph.index_of(node_id)] = weight
+
+    outcome = power_iteration(
+        graph.matrix(), restart, damping, tolerance, max_iterations, init
+    )
+    return RankedResult(
+        node_ids=graph.node_ids,
+        scores=outcome.scores,
+        iterations=outcome.iterations,
+        converged=outcome.converged,
+        base_weights=base,
+        residuals=outcome.residuals,
+    )

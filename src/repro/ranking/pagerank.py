@@ -1,0 +1,101 @@
+"""Generic personalized PageRank by power iteration.
+
+Everything in the authority-flow family (PageRank, topic-sensitive PageRank,
+ObjectRank, ObjectRank2) is the fixpoint of
+
+    r = d A r + (1 - d) s                                  (Equation 4 shape)
+
+for a (sub)stochastic transition matrix ``A``, damping factor ``d`` and a
+restart (base-set) distribution ``s``.  This module implements that fixpoint
+once; the callers differ only in how they build ``A`` and ``s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.ranking.convergence import PowerIterationResult
+
+DEFAULT_DAMPING = 0.85
+DEFAULT_TOLERANCE = 0.0001  # convergence threshold used in Section 6.2
+DEFAULT_MAX_ITERATIONS = 500
+
+
+def power_iteration(
+    matrix: sparse.spmatrix,
+    restart: np.ndarray,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    init: np.ndarray | None = None,
+) -> PowerIterationResult:
+    """Iterate ``r <- d A r + (1 - d) restart`` until the L1 change < tolerance.
+
+    ``matrix`` must be oriented so that ``A[j, i]`` is the rate of edge
+    ``i -> j`` (see :meth:`AuthorityTransferDataGraph.matrix`).  ``init`` seeds
+    the iteration — passing the previous query's scores is the warm-start
+    trick of Section 6.2 ("Manipulating Initial ObjectRank values"), which the
+    benchmarks show cuts the iteration count for reformulated queries.
+    """
+    n = matrix.shape[0]
+    if restart.shape != (n,):
+        raise ValueError(f"restart vector has shape {restart.shape}, expected ({n},)")
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping}")
+
+    scores = np.full(n, 1.0 / n) if init is None else np.asarray(init, dtype=np.float64).copy()
+    jump = (1.0 - damping) * restart
+    matrix = matrix.tocsr()
+
+    residuals: list[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_scores = damping * (matrix @ scores) + jump
+        residual = float(np.abs(new_scores - scores).sum())
+        residuals.append(residual)
+        scores = new_scores
+        if residual < tolerance:
+            converged = True
+            break
+    return PowerIterationResult(scores, iterations, converged, residuals)
+
+
+def pagerank(
+    matrix: sparse.spmatrix,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> PowerIterationResult:
+    """Classic global PageRank: uniform restart over all nodes [BP98]."""
+    n = matrix.shape[0]
+    restart = np.full(n, 1.0 / n)
+    return power_iteration(matrix, restart, damping, tolerance, max_iterations)
+
+
+def personalized_pagerank(
+    matrix: sparse.spmatrix,
+    restart_nodes: np.ndarray,
+    restart_weights: np.ndarray | None = None,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    init: np.ndarray | None = None,
+) -> PowerIterationResult:
+    """PageRank with restarts confined to ``restart_nodes``.
+
+    ``restart_weights`` (default uniform) is normalized to sum to one — the
+    paper's base-set probabilities.
+    """
+    n = matrix.shape[0]
+    restart = np.zeros(n)
+    if restart_weights is None:
+        restart[restart_nodes] = 1.0
+    else:
+        restart[restart_nodes] = restart_weights
+    total = restart.sum()
+    if total <= 0:
+        raise ValueError("restart distribution is empty or non-positive")
+    restart /= total
+    return power_iteration(matrix, restart, damping, tolerance, max_iterations, init)

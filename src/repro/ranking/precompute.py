@@ -1,0 +1,125 @@
+"""Precomputed per-keyword ObjectRank vectors (the [BHP04] execution mode).
+
+Section 6.2 notes that on-the-fly ObjectRank2 over DBLPcomplete-scale graphs
+is "clearly too long for exploratory searching" and lists the remedies: use
+faster hardware, *precompute ObjectRank2 values as in [BHP04]*, or define
+focused subsets.  This module implements the precomputation remedy: one
+authority vector per index keyword, computed offline, combined at query time.
+
+Combination at query time follows the same weighted-base-set idea as
+ObjectRank2: per-keyword vectors are blended linearly with weights
+proportional to the query-vector weight times the keyword's idf — a standard
+approximation of the exact weighted-base-set run (exact when base sets are
+disjoint and per-document IR scores are constant per keyword, close
+otherwise).  The trade-off is the classic one: instant queries, approximate
+scores, rates frozen at precomputation time (a structure-based reformulation
+invalidates the cache — :meth:`PrecomputedRanker.is_stale` detects that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyBaseSetError
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ir.index import InvertedIndex
+from repro.ir.scoring import BM25Scorer
+from repro.query.query import QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.ranking.objectrank import objectrank
+from repro.ranking.pagerank import (
+    DEFAULT_DAMPING,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+)
+
+
+class PrecomputedRanker:
+    """Per-keyword ObjectRank vectors with query-time linear blending.
+
+    ``keywords=None`` precomputes every index term whose document frequency
+    is at least ``min_document_frequency`` (rare terms are cheap to run
+    on the fly and bloat the cache).
+    """
+
+    def __init__(
+        self,
+        graph: AuthorityTransferDataGraph,
+        index: InvertedIndex,
+        keywords: list[str] | None = None,
+        min_document_frequency: int = 2,
+        damping: float = DEFAULT_DAMPING,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.damping = damping
+        self._scorer = BM25Scorer(index)
+        self._rates_snapshot = graph.transfer_schema.copy()
+        if keywords is None:
+            keywords = [
+                term
+                for term in index.vocabulary()
+                if index.document_frequency(term) >= min_document_frequency
+            ]
+        self._vectors: dict[str, np.ndarray] = {}
+        for keyword in keywords:
+            base = index.documents_with_term(keyword)
+            if not base:
+                continue
+            self._vectors[keyword] = objectrank(
+                graph, base, damping, tolerance, max_iterations
+            ).scores
+
+    # -- cache inspection ------------------------------------------------------
+
+    @property
+    def keywords(self) -> list[str]:
+        return list(self._vectors)
+
+    def has_keyword(self, keyword: str) -> bool:
+        return keyword in self._vectors
+
+    def is_stale(self, rates: AuthorityTransferSchemaGraph | None = None) -> bool:
+        """Whether the cache no longer matches the (possibly learned) rates.
+
+        Structure-based reformulation changes the transfer rates, which the
+        precomputed vectors baked in; a stale cache must be rebuilt (or the
+        query answered on the fly).
+        """
+        current = rates if rates is not None else self.graph.transfer_schema
+        return current != self._rates_snapshot
+
+    # -- query answering ---------------------------------------------------------
+
+    def rank(self, query_vector: QueryVector) -> RankedResult:
+        """Blend precomputed vectors for the query's cached keywords.
+
+        Keywords without a cached vector are skipped; if none remain the
+        query cannot be answered from the cache and
+        :class:`~repro.errors.EmptyBaseSetError` is raised (callers fall back
+        to on-the-fly ObjectRank2).
+        """
+        blended = np.zeros(self.graph.num_nodes)
+        total_weight = 0.0
+        matched: dict[str, float] = {}
+        for term in query_vector.terms:
+            weight = query_vector.weight(term)
+            if weight <= 0 or term not in self._vectors:
+                continue
+            blend_weight = weight * max(self._scorer.idf(term), 1e-6)
+            blended += blend_weight * self._vectors[term]
+            total_weight += blend_weight
+            matched[term] = blend_weight
+        if total_weight == 0.0:
+            raise EmptyBaseSetError(tuple(query_vector.terms))
+        blended /= total_weight
+        return RankedResult(
+            node_ids=self.graph.node_ids,
+            scores=blended,
+            iterations=0,  # query time does no power iteration
+            converged=True,
+            base_weights={t: w / total_weight for t, w in matched.items()},
+        )

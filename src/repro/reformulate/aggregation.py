@@ -1,0 +1,40 @@
+"""Monotone aggregation functions for multiple feedback objects (Section 5.3).
+
+When the user marks several objects relevant, the per-object expansion-term
+weights (Equation 14) and per-edge-type flow factors (Equation 15) must be
+combined.  "Typical choices are sum, min, max and average.  We use summation
+in our user surveys and experiments."  All four are provided; the ablation
+benchmark compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+AGGREGATORS: dict[str, Callable[[list[float]], float]] = {
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values),
+}
+
+
+def aggregate_maps(maps: list[Mapping[K, float]], how: str = "sum") -> dict[K, float]:
+    """Combine several key -> weight maps with the named aggregator.
+
+    Keys missing from a map are treated as absent, not zero: ``min`` over
+    {a: 1} and {a: 2, b: 3} gives {a: 1, b: 3}.  (Treating absence as zero
+    would make ``min`` discard every key not present in *all* explanations,
+    which is never what feedback aggregation wants.)
+    """
+    try:
+        combine = AGGREGATORS[how]
+    except KeyError:
+        raise ValueError(f"unknown aggregation {how!r}; known: {sorted(AGGREGATORS)}") from None
+    collected: dict[K, list[float]] = {}
+    for mapping in maps:
+        for key, value in mapping.items():
+            collected.setdefault(key, []).append(value)
+    return {key: combine(values) for key, values in collected.items()}

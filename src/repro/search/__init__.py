@@ -1,0 +1,5 @@
+"""Alternative search paradigms from the paper's related work."""
+
+from repro.search.proximity import AnswerTree, ProximitySearcher
+
+__all__ = ["AnswerTree", "ProximitySearcher"]

@@ -1,0 +1,28 @@
+"""Mini relational store and graph shredding (the paper's dataset pipeline)."""
+
+from repro.storage.relational import Database, ForeignKey, Table, TableSchema
+from repro.storage.xml_shred import XmlShredResult, shred_xml, xml_transfer_schema
+from repro.storage.shred import (
+    EdgeFromForeignKey,
+    EdgeTable,
+    NodeTable,
+    ShredSpec,
+    node_id,
+    shred_to_graph,
+)
+
+__all__ = [
+    "Database",
+    "EdgeFromForeignKey",
+    "EdgeTable",
+    "ForeignKey",
+    "NodeTable",
+    "ShredSpec",
+    "Table",
+    "TableSchema",
+    "XmlShredResult",
+    "node_id",
+    "shred_to_graph",
+    "shred_xml",
+    "xml_transfer_schema",
+]

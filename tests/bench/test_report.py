@@ -1,0 +1,41 @@
+"""Unit tests for the benchmark report collector."""
+
+from repro.bench import collect_report, write_report
+
+
+class TestCollectReport:
+    def test_known_sections_ordered(self, tmp_path):
+        (tmp_path / "fig11_training.txt").write_text("FIG11 BODY")
+        (tmp_path / "table1_datasets.txt").write_text("TABLE1 BODY")
+        report = collect_report(tmp_path)
+        assert report.index("Table 1") < report.index("Figure 11")
+        assert "TABLE1 BODY" in report and "FIG11 BODY" in report
+
+    def test_unknown_files_appended(self, tmp_path):
+        (tmp_path / "table1_datasets.txt").write_text("known")
+        (tmp_path / "zz_custom_bench.txt").write_text("custom body")
+        report = collect_report(tmp_path)
+        assert "zz custom bench" in report
+        assert report.index("known") < report.index("custom body")
+
+    def test_empty_directory(self, tmp_path):
+        report = collect_report(tmp_path)
+        assert "no result files found" in report
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "table1_datasets.txt").write_text("body")
+        output = tmp_path / "report.md"
+        write_report(tmp_path, output, title="My run")
+        text = output.read_text()
+        assert text.startswith("# My run")
+        assert "body" in text
+
+    def test_real_results_directory(self):
+        """The repository's own results directory produces a full report."""
+        from pathlib import Path
+
+        results = Path(__file__).parent.parent.parent / "benchmarks" / "results"
+        if not results.exists():
+            return  # harness not run yet in this checkout
+        report = collect_report(results)
+        assert "Figure 11" in report

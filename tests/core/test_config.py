@@ -1,0 +1,44 @@
+"""Unit tests for SystemConfig and its survey presets."""
+
+import pytest
+
+from repro.core import SystemConfig
+
+
+class TestDefaults:
+    def test_paper_default_values(self):
+        config = SystemConfig()
+        assert config.damping == 0.85
+        assert config.tolerance == 0.0001
+        assert config.radius == 3
+        assert config.decay == 0.5
+        assert config.expansion_factor == 0.5
+        assert config.adjustment_factor == 0.5
+        assert config.warm_start is True
+
+    def test_frozen(self):
+        config = SystemConfig()
+        with pytest.raises(AttributeError):
+            config.damping = 0.5
+
+
+class TestPresets:
+    def test_content_only(self):
+        config = SystemConfig.content_only()
+        assert config.expansion_factor == 0.2
+        assert config.adjustment_factor == 0.0
+
+    def test_structure_only(self):
+        config = SystemConfig.structure_only()
+        assert config.expansion_factor == 0.0
+        assert config.adjustment_factor == 0.5
+
+    def test_content_and_structure(self):
+        config = SystemConfig.content_and_structure()
+        assert config.expansion_factor == 0.2
+        assert config.adjustment_factor == 0.5
+
+    def test_preset_overrides(self):
+        config = SystemConfig.structure_only(top_k=25, radius=2)
+        assert config.top_k == 25
+        assert config.radius == 2

@@ -1,0 +1,82 @@
+"""Unit tests for session save/restore."""
+
+import pytest
+
+from repro.core import (
+    ObjectRankSystem,
+    SystemConfig,
+    restore_session,
+    save_session,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def system(figure1):
+    return ObjectRankSystem(
+        figure1.data_graph, figure1.transfer_schema,
+        SystemConfig(top_k=7, radius=None),
+    )
+
+
+class TestSaveRestore:
+    def test_round_trip_after_feedback(self, system, figure1, tmp_path):
+        system.query("OLAP")
+        system.feedback(["v4"])
+        learned_vector = system.current_vector.weights
+        learned_rates = system.current_rates.as_vector()
+        path = tmp_path / "session.json"
+        save_session(system, path)
+
+        fresh = ObjectRankSystem(
+            figure1.data_graph, figure1.transfer_schema,
+            SystemConfig(top_k=7, radius=None),
+        )
+        restore_session(fresh, path)
+        assert fresh.current_vector.weights == pytest.approx(learned_vector)
+        assert fresh.current_rates.as_vector() == pytest.approx(learned_rates)
+
+    def test_restored_rates_drive_search(self, system, figure1, tmp_path):
+        system.query("OLAP")
+        system.feedback(["v4"])
+        path = tmp_path / "session.json"
+        save_session(system, path)
+        expected = system.engine.search(
+            system.current_vector, top_k=7, rates=system.current_rates
+        ).ranked.ranking()
+
+        fresh = ObjectRankSystem(
+            figure1.data_graph, figure1.transfer_schema,
+            SystemConfig(top_k=7, radius=None),
+        )
+        restore_session(fresh, path)
+        restored = fresh.engine.search(
+            fresh.current_vector, top_k=7, rates=fresh.current_rates
+        ).ranked.ranking()
+        assert restored == expected
+
+    def test_save_before_query(self, system, figure1, tmp_path):
+        path = tmp_path / "empty.json"
+        save_session(system, path)
+        fresh = ObjectRankSystem(
+            figure1.data_graph, figure1.transfer_schema,
+            SystemConfig(top_k=7),
+        )
+        restore_session(fresh, path)
+        assert fresh.current_vector is None
+
+    def test_schema_mismatch_rejected(self, system, bio_tiny, tmp_path):
+        path = tmp_path / "session.json"
+        system.query("OLAP")
+        save_session(system, path)
+        other = ObjectRankSystem(
+            bio_tiny.data_graph, bio_tiny.transfer_schema, SystemConfig(top_k=5)
+        )
+        with pytest.raises(ReproError):
+            restore_session(other, path)
+
+    def test_bad_version_rejected(self, system, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ReproError):
+            restore_session(system, path)

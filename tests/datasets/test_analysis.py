@@ -1,0 +1,72 @@
+"""Unit tests for structural dataset analysis."""
+
+import pytest
+
+from repro.datasets import (
+    citation_topic_purity,
+    gini_coefficient,
+    in_degree_distribution,
+    structural_summary,
+)
+from repro.graph import DataGraph
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_concentration_near_one(self):
+        value = gini_coefficient([0] * 99 + [100])
+        assert value > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_monotone_in_skew(self):
+        mild = gini_coefficient([1, 2, 3, 4])
+        wild = gini_coefficient([0, 0, 1, 9])
+        assert wild > mild
+
+
+class TestDegrees:
+    def test_in_degree_by_role(self):
+        graph = DataGraph()
+        graph.add_node("a", "Paper")
+        graph.add_node("b", "Paper")
+        graph.add_node("x", "Author")
+        graph.add_edge("a", "b", "cites")
+        graph.add_edge("a", "x", "by")
+        degrees = in_degree_distribution(graph, role="cites")
+        assert degrees == {"a": 0, "b": 1, "x": 0}
+        all_roles = in_degree_distribution(graph)
+        assert all_roles["x"] == 1
+
+
+class TestDatasetSummaries:
+    def test_dblp_generator_has_required_structure(self, dblp_tiny):
+        summary = structural_summary(dblp_tiny)
+        # Skewed citations + topical clustering: the substitution argument.
+        assert summary.citation_gini >= 0.3
+        assert summary.topic_purity >= 0.5
+        assert summary.is_plausible_bibliographic_graph()
+
+    def test_topic_purity_tracks_generator_coherence(self):
+        from repro.datasets import DblpConfig, generate_dblp
+
+        coherent = generate_dblp(
+            DblpConfig(num_papers=300, num_authors=60, topic_coherence=0.95, seed=1)
+        )
+        scattered = generate_dblp(
+            DblpConfig(num_papers=300, num_authors=60, topic_coherence=0.05, seed=1)
+        )
+        assert citation_topic_purity(coherent) > citation_topic_purity(scattered)
+
+    def test_purity_zero_without_labels(self, dblp_tiny):
+        import dataclasses
+
+        stripped = dataclasses.replace(dblp_tiny, extras={})
+        assert citation_topic_purity(stripped) == 0.0
+
+    def test_no_isolated_nodes_in_dblp(self, dblp_tiny):
+        assert structural_summary(dblp_tiny).isolated_nodes == 0

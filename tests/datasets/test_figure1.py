@@ -1,0 +1,56 @@
+"""Unit tests for the Figure 1 running-example dataset."""
+
+import pytest
+
+from repro.datasets.figure1 import figure1_dataset
+from repro.graph import check_conformance
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return figure1_dataset()
+
+
+class TestFigure1:
+    def test_size(self, dataset):
+        assert dataset.num_nodes == 7
+        assert dataset.num_edges == 9
+
+    def test_conforms_to_dblp_schema(self, dataset):
+        check_conformance(dataset.data_graph, dataset.schema)
+
+    def test_node_labels(self, dataset):
+        assert dataset.data_graph.label_counts() == {
+            "Paper": 4, "Conference": 1, "Year": 1, "Author": 1,
+        }
+
+    def test_titles_match_paper(self, dataset):
+        assert "Data Cube" in dataset.data_graph.node("v7").attributes["title"]
+        assert "Range Queries" in dataset.data_graph.node("v4").attributes["title"]
+
+    def test_citation_structure(self, dataset):
+        cites = {
+            (e.source, e.target)
+            for e in dataset.data_graph.edges()
+            if e.role == "cites"
+        }
+        assert cites == {("v1", "v7"), ("v5", "v7"), ("v5", "v1"), ("v4", "v7")}
+
+    def test_agrawal_authors_two_papers(self, dataset):
+        authored = [
+            e.source for e in dataset.data_graph.in_edges("v6") if e.role == "by"
+        ]
+        assert sorted(authored) == ["v4", "v5"]
+
+    def test_rates_are_figure3(self, dataset):
+        from repro.datasets import DBLP_GROUND_TRUTH_VECTOR, dblp_edge_order
+
+        order = dblp_edge_order(dataset.schema)
+        assert dataset.transfer_schema.as_vector(order) == pytest.approx(
+            DBLP_GROUND_TRUTH_VECTOR
+        )
+
+    def test_fresh_instance_each_call(self):
+        first = figure1_dataset()
+        second = figure1_dataset()
+        assert first.data_graph is not second.data_graph

@@ -1,0 +1,50 @@
+"""Unit tests for the dataset registry (Table 1 at laptop scale)."""
+
+import pytest
+
+from repro.datasets import TABLE1_DATASETS, dataset_names, load_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = dataset_names()
+        for expected in TABLE1_DATASETS:
+            assert expected in names
+        assert "dblp_tiny" in names
+        assert "bio_tiny" in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("dblp_tiny", scale=0)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("dblp_tiny", scale=0.5)
+        large = load_dataset("dblp_tiny", scale=2.0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_relative_sizes_match_table1(self):
+        """complete >> top and ds7 >> ds7cancer, as in the paper."""
+        top = load_dataset("dblp_tiny", scale=1.0)
+        tiny_bio = load_dataset("bio_tiny", scale=1.0)
+        assert top.num_nodes > 0 and tiny_bio.num_nodes > 0
+        # Full-size ratio checks run in the Table 1 benchmark; here we only
+        # verify the tiny datasets exist and are distinct.
+        assert top.name == "dblp_tiny"
+        assert tiny_bio.name == "bio_tiny"
+
+    def test_determinism_per_seed(self):
+        first = load_dataset("dblp_tiny", seed=3)
+        second = load_dataset("dblp_tiny", seed=3)
+        assert first.data_graph.edges() == second.data_graph.edges()
+
+    def test_ds7_cancer_is_subset_of_ds7(self):
+        ds7 = load_dataset("ds7", scale=0.05)
+        cancer = load_dataset("ds7_cancer", scale=0.05)
+        assert cancer.num_nodes < ds7.num_nodes
+        ds7_ids = set(ds7.data_graph.node_ids())
+        assert set(cancer.data_graph.node_ids()) <= ds7_ids

@@ -1,0 +1,31 @@
+"""Unit tests for Table-1-style dataset statistics."""
+
+import pytest
+
+from repro.datasets import dataset_statistics
+from repro.datasets.figure1 import figure1_dataset
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = dataset_statistics(figure1_dataset())
+        assert stats.name == "figure1"
+        assert stats.num_nodes == 7
+        assert stats.num_edges == 9
+
+    def test_size_positive(self):
+        stats = dataset_statistics(figure1_dataset())
+        assert stats.size_bytes > 0
+        assert stats.size_megabytes == pytest.approx(stats.size_bytes / 1048576)
+
+    def test_label_counts(self):
+        stats = dataset_statistics(figure1_dataset())
+        assert stats.label_counts == {
+            "Paper": 4, "Conference": 1, "Year": 1, "Author": 1,
+        }
+
+    def test_row_format(self):
+        row = dataset_statistics(figure1_dataset()).row()
+        assert row[0] == "figure1"
+        assert row[1] == 7 and row[2] == 9
+        assert row[3].replace(".", "").isdigit()

@@ -1,0 +1,50 @@
+"""Unit tests for keyword-focused dataset subsets (the DS7cancer derivation)."""
+
+import pytest
+
+from repro.datasets import keyword_subset
+from repro.errors import DatasetError
+from repro.graph import check_conformance
+
+
+class TestKeywordSubset:
+    def test_seeds_contain_keyword(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=0, seed_labels=("PubMed",))
+        for node in subset.data_graph.nodes():
+            assert "cancer" in node.text().lower()
+
+    def test_hop_expansion_adds_neighbors(self, bio_tiny):
+        zero = keyword_subset(bio_tiny, "cancer", hops=0, seed_labels=("PubMed",))
+        one = keyword_subset(bio_tiny, "cancer", hops=1, seed_labels=("PubMed",))
+        assert one.num_nodes > zero.num_nodes
+
+    def test_subset_conforms_to_schema(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=1, seed_labels=("PubMed",))
+        check_conformance(subset.data_graph, subset.schema)
+
+    def test_edges_are_induced(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=1, seed_labels=("PubMed",))
+        ids = set(subset.data_graph.node_ids())
+        for edge in subset.data_graph.edges():
+            assert edge.source in ids and edge.target in ids
+
+    def test_seed_label_filter(self, bio_tiny):
+        pubs_only = keyword_subset(bio_tiny, "cancer", hops=0, seed_labels=("PubMed",))
+        assert {n.label for n in pubs_only.data_graph.nodes()} == {"PubMed"}
+
+    def test_default_name(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=1)
+        assert subset.name == "bio_tiny_cancer"
+        assert subset.extras["subset_keyword"] == "cancer"
+
+    def test_unknown_keyword_rejected(self, bio_tiny):
+        with pytest.raises(DatasetError):
+            keyword_subset(bio_tiny, "zzzznotaword")
+
+    def test_negative_hops_rejected(self, bio_tiny):
+        with pytest.raises(DatasetError):
+            keyword_subset(bio_tiny, "cancer", hops=-1)
+
+    def test_transfer_schema_preserved(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=1)
+        assert subset.transfer_schema == bio_tiny.transfer_schema

@@ -1,0 +1,61 @@
+"""Unit tests for the topic vocabularies and synthetic text helpers."""
+
+import random
+
+from repro.datasets import BIOLOGY_TOPICS, DATABASE_TOPICS
+from repro.datasets.vocabulary import (
+    make_gene_symbol,
+    make_person_name,
+    make_title,
+    topic_by_name,
+)
+
+
+class TestTopics:
+    def test_topics_have_distinct_names(self):
+        names = [t.name for t in DATABASE_TOPICS]
+        assert len(names) == len(set(names))
+
+    def test_topic_by_name(self):
+        assert topic_by_name(DATABASE_TOPICS, "olap").name == "olap"
+
+    def test_topic_by_name_unknown(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            topic_by_name(DATABASE_TOPICS, "nope")
+
+    def test_bio_topics_include_cancer(self):
+        assert any(t.name == "cancer" for t in BIOLOGY_TOPICS)
+
+
+class TestTextHelpers:
+    def test_title_contains_topic_word(self):
+        rng = random.Random(0)
+        topic = topic_by_name(DATABASE_TOPICS, "olap")
+        for _ in range(20):
+            title = make_title(rng, topic)
+            assert any(word in title.split() for word in topic.words)
+
+    def test_title_length_bounds(self):
+        rng = random.Random(1)
+        topic = DATABASE_TOPICS[0]
+        for _ in range(20):
+            words = make_title(rng, topic, min_words=4, max_words=6).split()
+            assert 4 <= len(words) <= 6
+
+    def test_person_name_format(self):
+        rng = random.Random(2)
+        name = make_person_name(rng)
+        initial, surname = name.split(" ")
+        assert initial.endswith(".")
+        assert surname[0].isupper()
+
+    def test_gene_symbol_format(self):
+        rng = random.Random(3)
+        symbol = make_gene_symbol(rng)
+        assert symbol[:-1].rstrip("0123456789").isupper()
+
+    def test_determinism(self):
+        topic = DATABASE_TOPICS[0]
+        assert make_title(random.Random(7), topic) == make_title(random.Random(7), topic)

@@ -1,0 +1,60 @@
+"""Unit tests for the flow-aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    node_incoming_flow,
+    node_outgoing_flow,
+    original_edge_flows,
+)
+
+
+@pytest.fixture
+def all_flows(figure1_graph, olap_result):
+    edge_ids = np.arange(figure1_graph.num_edges, dtype=np.int64)
+    flows = original_edge_flows(figure1_graph, olap_result.scores, 0.85, edge_ids)
+    return edge_ids, flows
+
+
+class TestNodeAggregation:
+    def test_outgoing_matches_manual_sum(self, figure1_graph, all_flows):
+        edge_ids, flows = all_flows
+        totals = node_outgoing_flow(figure1_graph, edge_ids, flows)
+        v5 = figure1_graph.index_of("v5")
+        manual = sum(
+            flows[e]
+            for e in range(figure1_graph.num_edges)
+            if int(figure1_graph.edge_source[e]) == v5
+        )
+        assert totals[v5] == pytest.approx(manual)
+
+    def test_incoming_matches_manual_sum(self, figure1_graph, all_flows):
+        edge_ids, flows = all_flows
+        totals = node_incoming_flow(figure1_graph, edge_ids, flows)
+        v7 = figure1_graph.index_of("v7")
+        manual = sum(
+            flows[e]
+            for e in range(figure1_graph.num_edges)
+            if int(figure1_graph.edge_target[e]) == v7
+        )
+        assert totals[v7] == pytest.approx(manual)
+
+    def test_global_conservation(self, figure1_graph, all_flows):
+        """Over all edges, total outgoing equals total incoming."""
+        edge_ids, flows = all_flows
+        outgoing = node_outgoing_flow(figure1_graph, edge_ids, flows)
+        incoming = node_incoming_flow(figure1_graph, edge_ids, flows)
+        assert outgoing.sum() == pytest.approx(incoming.sum())
+
+    def test_outflow_bounded_by_damped_score(self, figure1_graph, all_flows, olap_result):
+        """A node cannot send more than d * its score (rates sum to <= 1)."""
+        edge_ids, flows = all_flows
+        outgoing = node_outgoing_flow(figure1_graph, edge_ids, flows)
+        for index in range(figure1_graph.num_nodes):
+            assert outgoing[index] <= 0.85 * olap_result.scores[index] + 1e-12
+
+    def test_empty_edge_selection(self, figure1_graph):
+        empty = np.zeros(0, dtype=np.int64)
+        totals = node_outgoing_flow(figure1_graph, empty, np.zeros(0))
+        assert totals.sum() == 0.0

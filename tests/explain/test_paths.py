@@ -1,0 +1,64 @@
+"""Unit tests for top-path extraction from explanations."""
+
+import pytest
+
+from repro.explain import build_explaining_subgraph, adjust_flows, top_paths
+
+
+@pytest.fixture
+def explanation(figure1_graph, olap_result):
+    base = list(olap_result.base_weights)
+    subgraph = build_explaining_subgraph(figure1_graph, base, "v4", radius=None)
+    return adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+
+
+class TestTopPaths:
+    def test_paths_start_at_base_end_at_target(self, explanation):
+        paths = top_paths(explanation, 5)
+        assert paths
+        for path in paths:
+            assert path.node_ids[0] in {"v1", "v4"}
+            assert path.node_ids[-1] == "v4"
+
+    def test_sorted_by_bottleneck_descending(self, explanation):
+        paths = top_paths(explanation, 5)
+        bottlenecks = [p.bottleneck for p in paths]
+        assert bottlenecks == sorted(bottlenecks, reverse=True)
+
+    def test_v1_path_found(self, explanation):
+        """The long chain v1 -> v3 -> v5 -> v6 -> v4 carries authority."""
+        paths = top_paths(explanation, 10, max_length=10)
+        assert ("v1", "v3", "v5", "v6", "v4") in {p.node_ids for p in paths}
+
+    def test_cycle_back_to_base_target(self, explanation):
+        """v4 is both base node and target: the loop v4 -> v6 -> v4 counts."""
+        paths = top_paths(explanation, 10)
+        assert ("v4", "v6", "v4") in {p.node_ids for p in paths}
+
+    def test_k_limits_results(self, explanation):
+        assert len(top_paths(explanation, 1)) == 1
+        assert top_paths(explanation, 0) == []
+
+    def test_max_length_respected(self, explanation):
+        paths = top_paths(explanation, 10, max_length=2)
+        assert all(p.length <= 2 for p in paths)
+
+    def test_bottleneck_is_min_edge_flow(self, explanation):
+        graph = explanation.graph
+        flows = {
+            (int(graph.edge_source[e]), int(graph.edge_target[e])): float(f)
+            for e, f in zip(explanation.edge_ids, explanation.flows)
+        }
+        for path in top_paths(explanation, 5):
+            indices = [graph.index_of(n) for n in path.node_ids]
+            edge_flows = [flows[(a, b)] for a, b in zip(indices, indices[1:])]
+            assert path.bottleneck == pytest.approx(min(edge_flows))
+
+    def test_empty_explanation_no_paths(self, figure1_graph, olap_result):
+        subgraph = build_explaining_subgraph(figure1_graph, ["v7"], "v2", radius=1)
+        empty = adjust_flows(subgraph, olap_result.scores, 0.85)
+        assert top_paths(empty, 5) == []
+
+    def test_path_length_property(self, explanation):
+        for path in top_paths(explanation, 5):
+            assert path.length == len(path.node_ids) - 1

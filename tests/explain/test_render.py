@@ -1,0 +1,57 @@
+"""Unit tests for explanation rendering (text and DOT)."""
+
+import pytest
+
+from repro.explain import adjust_flows, build_explaining_subgraph, to_dot, to_text
+
+
+@pytest.fixture
+def explanation(figure1_graph, olap_result):
+    base = list(olap_result.base_weights)
+    subgraph = build_explaining_subgraph(figure1_graph, base, "v4", radius=None)
+    return adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+
+
+@pytest.fixture
+def empty_explanation(figure1_graph, olap_result):
+    subgraph = build_explaining_subgraph(figure1_graph, ["v7"], "v2", radius=1)
+    return adjust_flows(subgraph, olap_result.scores, 0.85)
+
+
+class TestText:
+    def test_mentions_target_and_inflow(self, explanation):
+        text = to_text(explanation)
+        assert "v4" in text
+        assert "total authority reaching target" in text
+
+    def test_lists_paths(self, explanation):
+        text = to_text(explanation, max_paths=3)
+        assert "->" in text
+
+    def test_empty_explanation_message(self, empty_explanation):
+        text = to_text(empty_explanation)
+        assert "no authority path" in text
+
+
+class TestDot:
+    def test_valid_digraph_structure(self, explanation):
+        dot = to_dot(explanation)
+        assert dot.startswith("digraph explanation {")
+        assert dot.endswith("}")
+
+    def test_target_shape(self, explanation):
+        dot = to_dot(explanation)
+        assert "doubleoctagon" in dot
+
+    def test_base_nodes_boxed(self, explanation):
+        dot = to_dot(explanation)
+        assert "shape=box" in dot
+
+    def test_min_flow_filters_edges(self, explanation):
+        full = to_dot(explanation)
+        filtered = to_dot(explanation, min_flow=1e9)
+        assert filtered.count("->") < full.count("->")
+
+    def test_edges_annotated_with_flow(self, explanation):
+        dot = to_dot(explanation)
+        assert "label=" in dot

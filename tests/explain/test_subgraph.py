@@ -1,0 +1,103 @@
+"""Unit tests for explaining-subgraph construction (Section 4, stage 1)."""
+
+import pytest
+
+from repro.errors import ExplanationError
+from repro.explain import build_explaining_subgraph
+
+
+@pytest.fixture
+def olap_base(olap_result):
+    return list(olap_result.base_weights)
+
+
+class TestConstruction:
+    def test_example1_excludes_data_cube(self, figure1_graph, olap_base):
+        """Example 1: v7 is not in G_v4^Q because no path leads from it to
+        v4 (the cited direction carries rate 0)."""
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        assert not subgraph.contains_node(figure1_graph.index_of("v7"))
+
+    def test_example1_nodes(self, figure1_graph, olap_base):
+        """Unbounded radius: the Figure 9 subgraph holds v1..v6."""
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        expected = {figure1_graph.index_of(v) for v in ("v1", "v2", "v3", "v4", "v5", "v6")}
+        assert set(subgraph.nodes) == expected
+
+    def test_radius_limits_backward_reach(self, figure1_graph, olap_base):
+        """With L=3, v1 (4 hops away from v4) is pruned."""
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=3)
+        assert not subgraph.contains_node(figure1_graph.index_of("v1"))
+        assert subgraph.contains_node(figure1_graph.index_of("v6"))
+
+    def test_depths_to_target(self, figure1_graph, olap_base):
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        depth = {
+            figure1_graph.node_id_of(n): d for n, d in subgraph.depth_to_target.items()
+        }
+        assert depth["v4"] == 0
+        assert depth["v6"] == 1
+        assert depth["v5"] == 2
+        assert depth["v3"] == 3
+        assert depth["v1"] == 4
+
+    def test_base_nodes_restricted_to_reachable(self, figure1_graph, olap_base):
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=3)
+        # v1 is a base node but cannot reach v4 within radius 3.
+        assert figure1_graph.index_of("v1") not in subgraph.base_nodes
+        assert figure1_graph.index_of("v4") in subgraph.base_nodes
+
+    def test_all_edges_within_subgraph(self, figure1_graph, olap_base):
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        nodes = set(subgraph.nodes)
+        for edge_id in subgraph.edge_ids:
+            assert int(figure1_graph.edge_source[edge_id]) in nodes
+            assert int(figure1_graph.edge_target[edge_id]) in nodes
+
+    def test_zero_rate_edges_excluded(self, figure1_graph, olap_base):
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        for edge_id in subgraph.edge_ids:
+            assert figure1_graph.edge_rate[edge_id] > 0.0
+
+    def test_target_always_present(self, figure1_graph):
+        """Even with an unreachable base set the target itself is kept."""
+        subgraph = build_explaining_subgraph(figure1_graph, ["v7"], "v2", radius=1)
+        assert subgraph.contains_node(figure1_graph.index_of("v2"))
+        assert subgraph.is_empty
+
+    def test_invalid_radius_rejected(self, figure1_graph, olap_base):
+        with pytest.raises(ExplanationError):
+            build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=0)
+
+    def test_node_ids_helper(self, figure1_graph, olap_base):
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=3)
+        assert subgraph.target_id == "v4"
+        assert "v4" in subgraph.node_ids()
+
+
+class TestObservation1:
+    def test_no_inflow_from_outside(self, figure1_graph, olap_base):
+        """Observation 1: no positive-rate edge enters the subgraph from a
+        node outside it while carrying authority from the base set.
+
+        Equivalently: any positive-rate edge of D^A whose target is in G and
+        whose source is forward-reachable from the base set must itself be in
+        G.  We verify the direct consequence: sources of subgraph edges are
+        subgraph nodes (checked above) and every base-derived path stays in."""
+        subgraph = build_explaining_subgraph(figure1_graph, olap_base, "v4", radius=None)
+        in_sub = set(subgraph.nodes)
+        subgraph_edges = set(int(e) for e in subgraph.edge_ids)
+        for node in subgraph.nodes:
+            for edge_id in figure1_graph.in_edge_ids(node):
+                source = int(figure1_graph.edge_source[edge_id])
+                if (
+                    figure1_graph.edge_rate[edge_id] > 0
+                    and source in in_sub
+                    and int(edge_id) not in subgraph_edges
+                ):
+                    # the source must then not be forward-reachable from the
+                    # base set: it can only be the bare target of an empty
+                    # branch, never a flow carrier.
+                    assert source == subgraph.target or source not in {
+                        int(figure1_graph.edge_source[e]) for e in subgraph.edge_ids
+                    }

@@ -1,0 +1,68 @@
+"""Unit tests for SVG explanation rendering."""
+
+import pytest
+
+from repro.explain import adjust_flows, build_explaining_subgraph, to_svg
+
+
+@pytest.fixture
+def explanation(figure1_graph, olap_result):
+    base = list(olap_result.base_weights)
+    subgraph = build_explaining_subgraph(figure1_graph, base, "v4", radius=None)
+    return adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+
+
+class TestToSvg:
+    def test_valid_svg_document(self, explanation):
+        svg = to_svg(explanation)
+        assert svg.startswith("<svg ")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_ellipse_per_node(self, explanation):
+        svg = to_svg(explanation)
+        assert svg.count("<ellipse") == explanation.subgraph.num_nodes
+
+    def test_one_line_per_visible_edge(self, explanation):
+        svg = to_svg(explanation)
+        assert svg.count("<line") == explanation.subgraph.num_edges
+
+    def test_min_flow_hides_edges(self, explanation):
+        full = to_svg(explanation)
+        filtered = to_svg(explanation, min_flow=1e9)
+        assert filtered.count("<line") < full.count("<line")
+        # nodes are still drawn so the user sees the structure
+        assert filtered.count("<ellipse") == explanation.subgraph.num_nodes
+
+    def test_target_highlighted(self, explanation):
+        svg = to_svg(explanation)
+        assert "#ffd27f" in svg  # the target's fill color
+
+    def test_captions_escaped(self, figure1_graph, olap_result):
+        # inject a node whose title would break XML if unescaped
+        from repro.datasets.figure1 import figure1_dataset
+        from repro.graph import AuthorityTransferDataGraph
+        from repro.ir import BM25Scorer, InvertedIndex
+        from repro.query import KeywordQuery
+        from repro.ranking import objectrank2
+
+        dataset = figure1_dataset()
+        dataset.data_graph.add_node(
+            "evil", "Paper", {"title": 'OLAP <cube> & "more"'}
+        )
+        dataset.data_graph.add_edge("evil", "v7", "cites")
+        graph = AuthorityTransferDataGraph(dataset.data_graph, dataset.transfer_schema)
+        index = InvertedIndex.from_graph(dataset.data_graph)
+        result = objectrank2(graph, BM25Scorer(index), KeywordQuery(["olap"]).vector())
+        subgraph = build_explaining_subgraph(
+            graph, list(result.base_weights), "v7", radius=None
+        )
+        explanation = adjust_flows(subgraph, result.scores, 0.85)
+        svg = to_svg(explanation)
+        assert "<cube>" not in svg
+        assert "&lt;cube&gt;" in svg
+
+    def test_edge_tooltips_carry_roles(self, explanation):
+        svg = to_svg(explanation)
+        assert "<title>" in svg
+        assert "by:" in svg or "cites:" in svg or "contains:" in svg

@@ -1,0 +1,128 @@
+"""Unit tests for implicit click-through feedback (Section 5's note)."""
+
+import pytest
+
+from repro.feedback import (
+    ClickLog,
+    SimulatedClicker,
+    implicit_feedback,
+    position_weight,
+)
+
+
+class TestPositionWeight:
+    def test_top_rank_discounted(self):
+        assert position_weight(1, bias=0.7) == pytest.approx(0.3)
+
+    def test_deep_rank_near_full(self):
+        assert position_weight(100, bias=0.7) > 0.99
+
+    def test_monotone_in_rank(self):
+        weights = [position_weight(r) for r in range(1, 10)]
+        assert weights == sorted(weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            position_weight(0)
+        with pytest.raises(ValueError):
+            position_weight(1, bias=1.0)
+
+
+class TestClickLog:
+    def test_presentation_counting(self):
+        log = ClickLog()
+        log.record_presentation(["a", "b"])
+        log.record_presentation(["a"])
+        assert log.presentations == {"a": 2, "b": 1}
+
+    def test_click_counting(self):
+        log = ClickLog()
+        log.record_click("a", 1)
+        log.record_click("a", 3)
+        log.record_click("b", 2)
+        assert log.click_counts() == {"a": 2, "b": 1}
+
+    def test_rank_validated(self):
+        with pytest.raises(ValueError):
+            ClickLog().record_click("a", 0)
+
+
+class TestImplicitFeedback:
+    def test_repeated_deep_clicks_become_feedback(self):
+        log = ClickLog()
+        log.record_presentation(["x", "y", "z"])
+        log.record_click("z", 3)
+        assert implicit_feedback(log, threshold=0.5) == ["z"]
+
+    def test_single_top_click_below_threshold(self):
+        """One click at rank 1 is weak evidence (position bias)."""
+        log = ClickLog()
+        log.record_presentation(["x", "y"])
+        log.record_click("x", 1)
+        assert implicit_feedback(log, threshold=0.5) == []
+
+    def test_accumulated_top_clicks_cross_threshold(self):
+        log = ClickLog()
+        log.record_presentation(["x", "y"])
+        log.record_click("x", 1)
+        log.record_click("x", 1)
+        # two clicks, one presentation batch: 2 * 0.3 / 1 = 0.6 >= 0.5
+        assert implicit_feedback(log, threshold=0.5) == ["x"]
+
+    def test_strongest_first_and_limit(self):
+        log = ClickLog()
+        log.record_presentation(["a", "b"])
+        log.record_click("a", 2)
+        log.record_click("a", 2)
+        log.record_click("b", 2)
+        ordered = implicit_feedback(log, threshold=0.1)
+        assert ordered == ["a", "b"]
+        assert implicit_feedback(log, threshold=0.1, limit=1) == ["a"]
+
+    def test_empty_log(self):
+        assert implicit_feedback(ClickLog()) == []
+
+
+class TestSimulatedClicker:
+    def test_clicks_mostly_on_relevant(self):
+        clicker = SimulatedClicker({"r1", "r2"}, seed=3, random_click_rate=0.0)
+        log = ClickLog()
+        clicks = clicker.browse(["r1", "x", "r2", "y"], log)
+        assert {c.node_id for c in clicks} <= {"r1", "r2"}
+        assert any(c.node_id == "r1" for c in clicks)
+
+    def test_cascade_examination_decays(self):
+        """With low examination probability, deep results are rarely seen."""
+        clicker = SimulatedClicker(
+            {f"r{i}" for i in range(50)}, examination=0.3, seed=1,
+            random_click_rate=0.0,
+        )
+        log = ClickLog()
+        ranking = [f"r{i}" for i in range(50)]
+        for _ in range(50):
+            clicker.browse(ranking, log)
+        counts = log.click_counts()
+        assert counts.get("r0", 0) > counts.get("r10", 0)
+
+    def test_end_to_end_with_feedback_loop(self, dblp_tiny):
+        """Click-through drives the same reformulation path as explicit marks."""
+        from repro.core import ObjectRankSystem, SystemConfig
+
+        system = ObjectRankSystem(
+            dblp_tiny.data_graph, dblp_tiny.transfer_schema,
+            SystemConfig(top_k=10),
+        )
+        result = system.query("olap")
+        relevant = set(result.hit_ids()[:3])
+        clicker = SimulatedClicker(relevant, seed=0)
+        log = ClickLog()
+        for _ in range(3):
+            clicker.browse(result.hit_ids(), log)
+        marks = implicit_feedback(log, threshold=0.2, limit=3)
+        assert marks
+        outcome = system.feedback(marks)
+        assert outcome.result is system.last_result
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedClicker(set(), examination=0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.feedback import (
+    average_precision,
+    cosine_similarity,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestPrecisionAtK:
+    def test_perfect(self):
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+    def test_half(self):
+        assert precision_at_k(["a", "x"], {"a"}, 2) == 0.5
+
+    def test_short_retrieved_list_penalized(self):
+        # only one retrieved but k=4: precision counts against k
+        assert precision_at_k(["a"], {"a"}, 4) == 0.25
+
+    def test_empty_retrieved(self):
+        assert precision_at_k([], {"a"}, 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+
+
+class TestRecallAtK:
+    def test_full_recall(self):
+        assert recall_at_k(["a", "b", "c"], {"a", "b"}, 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(["a", "x"], {"a", "b"}, 2) == 0.5
+
+    def test_no_relevant(self):
+        assert recall_at_k(["a"], set(), 1) == 0.0
+
+
+class TestAveragePrecision:
+    def test_all_relevant_up_front(self):
+        assert average_precision(["a", "b", "x"], {"a", "b"}) == 1.0
+
+    def test_interleaved(self):
+        # hits at ranks 1 and 3: (1/1 + 2/3)/2
+        assert average_precision(["a", "x", "b"], {"a", "b"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_missing_relevant_penalized(self):
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_hit(self):
+        assert reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_third_hit(self):
+        assert reciprocal_rank(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        assert cosine_similarity([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        assert cosine_similarity([1, 2], [10, 20]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == 0.0
+
+    def test_zero_vector_convention(self):
+        assert cosine_similarity([0, 0], [1, 2]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1], [1, 2])
+
+    def test_paper_vectors(self):
+        """Initial 0.3-vector vs DBLP ground truth starts around 0.8."""
+        truth = [0.7, 0.0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1]
+        initial = [0.3] * 8
+        value = cosine_similarity(initial, truth)
+        assert 0.75 < value < 0.85

@@ -1,0 +1,47 @@
+"""Unit tests for residual-collection evaluation [RL03, SB90]."""
+
+from repro.feedback import ResidualCollection
+
+
+class TestResidualCollection:
+    def test_initial_state_passes_everything(self):
+        residual = ResidualCollection()
+        assert residual.residual_ranking(["a", "b"]) == ["a", "b"]
+        assert residual.residual_relevant({"a"}) == {"a"}
+
+    def test_seen_items_removed_from_ranking(self):
+        residual = ResidualCollection()
+        residual.mark_seen(["a", "c"])
+        assert residual.residual_ranking(["a", "b", "c", "d"]) == ["b", "d"]
+
+    def test_seen_items_removed_from_relevant(self):
+        residual = ResidualCollection()
+        residual.mark_seen(["a"])
+        assert residual.residual_relevant({"a", "b"}) == {"b"}
+
+    def test_precision_over_residual(self):
+        residual = ResidualCollection()
+        residual.mark_seen(["r1"])
+        # ranking: r1 (seen), r2 (relevant), x (not)
+        assert residual.precision(["r1", "r2", "x"], {"r1", "r2"}, 2) == 0.5
+
+    def test_present_returns_top_k_unseen(self):
+        residual = ResidualCollection()
+        residual.mark_seen(["a"])
+        assert residual.present(["a", "b", "c", "d"], 2) == ["b", "c"]
+
+    def test_marking_accumulates(self):
+        residual = ResidualCollection()
+        residual.mark_seen(["a"])
+        residual.mark_seen(["b"])
+        assert residual.seen == {"a", "b"}
+
+    def test_feedback_cannot_inflate_precision(self):
+        """The point of the method: re-retrieving marked objects scores 0."""
+        residual = ResidualCollection()
+        relevant = {"a", "b"}
+        first = residual.present(["a", "b", "x", "y"], 2)
+        assert residual.precision(["a", "b", "x", "y"], relevant, 2) == 1.0
+        residual.mark_seen(first)
+        # "reformulated" ranking returns the same two relevant docs on top
+        assert residual.precision(["a", "b", "x", "y"], relevant, 2) == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for the Rocchio baseline."""
+
+import pytest
+
+from repro.feedback import RocchioReformulator
+from repro.ir import InvertedIndex
+from repro.query import QueryVector
+
+
+@pytest.fixture
+def index():
+    return InvertedIndex.from_documents(
+        [
+            ("r1", "olap cube warehouse aggregation"),
+            ("r2", "olap multidimensional warehouse"),
+            ("n1", "xml twig query"),
+            ("d1", "unrelated streaming windows"),
+            ("d2", "another unrelated transaction"),
+        ]
+    )
+
+
+class TestDocumentVector:
+    def test_covers_document_terms_only(self, index):
+        rocchio = RocchioReformulator()
+        vector = rocchio.document_vector(index, "r1")
+        assert set(vector) == {"olap", "cube", "warehouse", "aggregation"}
+        assert all(weight > 0 for weight in vector.values())
+
+    def test_unknown_document_is_empty(self, index):
+        assert RocchioReformulator().document_vector(index, "zz") == {}
+
+
+class TestReformulate:
+    def test_relevant_terms_added(self, index):
+        rocchio = RocchioReformulator(num_terms=10)
+        new = rocchio.reformulate(QueryVector({"olap": 1.0}), index, ["r1", "r2"])
+        assert "warehouse" in new
+        assert new.weight("warehouse") > 0
+
+    def test_original_terms_boosted(self, index):
+        rocchio = RocchioReformulator()
+        new = rocchio.reformulate(QueryVector({"olap": 1.0}), index, ["r1"])
+        assert new.weight("olap") > 1.0  # alpha * 1 + beta * tfidf
+
+    def test_nonrelevant_terms_suppressed(self, index):
+        rocchio = RocchioReformulator(num_terms=10)
+        with_neg = rocchio.reformulate(
+            QueryVector({"olap": 1.0}), index, ["r1"], nonrelevant_ids=["n1"]
+        )
+        assert "twig" not in with_neg  # negative weight clamped out
+
+    def test_negative_query_weight_clamped(self, index):
+        rocchio = RocchioReformulator(alpha=0.0, gamma=1.0)
+        new = rocchio.reformulate(
+            QueryVector({"twig": 1.0}), index, [], nonrelevant_ids=["n1"]
+        )
+        assert new.weight("twig") == 0.0
+
+    def test_num_terms_truncates(self, index):
+        rocchio = RocchioReformulator(num_terms=2)
+        new = rocchio.reformulate(QueryVector({"olap": 1.0}), index, ["r1", "r2"])
+        # original term + at most 2 expansion terms
+        assert len(new) <= 3
+
+    def test_no_feedback_keeps_query(self, index):
+        rocchio = RocchioReformulator()
+        original = QueryVector({"olap": 1.0})
+        new = rocchio.reformulate(original, index, [])
+        assert new.weights == {"olap": 1.0}

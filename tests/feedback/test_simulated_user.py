@@ -1,0 +1,67 @@
+"""Unit tests for the simulated survey user."""
+
+import pytest
+
+from repro.feedback import SimulatedUser
+from repro.graph import AuthorityTransferSchemaGraph
+from repro.query import SearchEngine
+
+
+@pytest.fixture
+def engine(dblp_tiny):
+    flat = AuthorityTransferSchemaGraph(dblp_tiny.schema, default_rate=0.3)
+    return SearchEngine(dblp_tiny.data_graph, flat)
+
+
+@pytest.fixture
+def user(engine, dblp_tiny):
+    return SimulatedUser(engine, dblp_tiny.ground_truth_rates, relevance_depth=15)
+
+
+class TestRelevantSet:
+    def test_size_matches_depth(self, user):
+        assert len(user.relevant_set("olap")) == 15
+
+    def test_cached_per_query(self, user):
+        first = user.relevant_set("olap")
+        assert user.relevant_set("olap") is first
+
+    def test_different_queries_differ(self, user):
+        assert user.relevant_set("olap") != user.relevant_set("xml")
+
+    def test_stable_under_reformulated_vectors(self, user, engine):
+        """Judgments key on the term set: reweighting alone (a reformulated
+        vector over the same terms) does not change the relevant set."""
+        from repro.query import QueryVector
+
+        plain = user.relevant_set(QueryVector({"olap": 1.0}))
+        reweighted = user.relevant_set(QueryVector({"olap": 3.0}))
+        assert plain == reweighted
+
+
+class TestJudging:
+    def test_marks_only_relevant(self, user):
+        relevant = user.relevant_set("olap")
+        sample = list(relevant)[:3] + ["paper:0_bogus_id"[:0] or "year:0"]
+        marked = user.judge(sample, "olap")
+        assert set(marked) <= relevant
+        assert len(marked) == 3
+
+    def test_preserves_presentation_order(self, user):
+        relevant = sorted(user.relevant_set("olap"))
+        marked = user.judge(relevant, "olap")
+        assert marked == relevant
+
+    def test_noise_flips_judgments(self, engine, dblp_tiny):
+        noisy = SimulatedUser(
+            engine, dblp_tiny.ground_truth_rates, relevance_depth=15, noise=0.99, seed=1
+        )
+        relevant = list(noisy.relevant_set("olap"))
+        marked = noisy.judge(relevant, "olap")
+        assert len(marked) < len(relevant)  # most judgments flipped to no
+
+    def test_validation(self, engine, dblp_tiny):
+        with pytest.raises(ValueError):
+            SimulatedUser(engine, dblp_tiny.ground_truth_rates, relevance_depth=0)
+        with pytest.raises(ValueError):
+            SimulatedUser(engine, dblp_tiny.ground_truth_rates, noise=1.0)

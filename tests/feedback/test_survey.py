@@ -1,0 +1,85 @@
+"""Unit tests for the survey session driver (Section 6.1 protocol)."""
+
+import pytest
+
+from repro.core import ObjectRankSystem, SystemConfig
+from repro.feedback import (
+    SimulatedUser,
+    average_precision_curve,
+    run_feedback_session,
+)
+from repro.graph import AuthorityTransferSchemaGraph
+from repro.query import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    dblp_tiny = request.getfixturevalue("dblp_tiny")
+    flat = AuthorityTransferSchemaGraph(dblp_tiny.schema, default_rate=0.3)
+    engine = SearchEngine(dblp_tiny.data_graph, flat)
+    user = SimulatedUser(engine, dblp_tiny.ground_truth_rates, relevance_depth=40)
+    return dblp_tiny, flat, engine, user
+
+
+class TestSession:
+    def test_trace_shape(self, setup):
+        dataset, flat, engine, user = setup
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.structure_only(top_k=10), engine=engine
+        )
+        trace = run_feedback_session(system, user, "olap", feedback_iterations=3)
+        assert len(trace.precisions) == 4  # initial + 3 reformulated
+        assert len(trace.marked_counts) == 4
+        assert len(trace.rate_vectors) == 4
+        assert all(0.0 <= p <= 1.0 for p in trace.precisions)
+
+    def test_structure_only_changes_rates(self, setup):
+        dataset, flat, engine, user = setup
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.structure_only(top_k=10), engine=engine
+        )
+        trace = run_feedback_session(system, user, "olap", feedback_iterations=2)
+        assert trace.rate_vectors[0] != trace.rate_vectors[-1]
+
+    def test_content_only_keeps_rates(self, setup):
+        dataset, flat, engine, user = setup
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.content_only(top_k=10), engine=engine
+        )
+        trace = run_feedback_session(system, user, "olap", feedback_iterations=2)
+        assert trace.rate_vectors[0] == trace.rate_vectors[-1]
+
+    def test_explaining_iterations_recorded(self, setup):
+        dataset, flat, engine, user = setup
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.structure_only(top_k=10), engine=engine
+        )
+        trace = run_feedback_session(system, user, "olap", feedback_iterations=2)
+        assert trace.explaining_iterations
+        assert all(i >= 1 for i in trace.explaining_iterations)
+
+    def test_query_text_recorded(self, setup):
+        dataset, flat, engine, user = setup
+        system = ObjectRankSystem(
+            dataset.data_graph, flat, SystemConfig.structure_only(top_k=5), engine=engine
+        )
+        trace = run_feedback_session(system, user, "olap", feedback_iterations=1)
+        assert trace.query == "olap"
+
+
+class TestAveraging:
+    def test_average_curve(self, setup):
+        dataset, flat, engine, user = setup
+        config = SystemConfig.structure_only(top_k=10)
+        traces = []
+        for query in ("olap", "xml"):
+            system = ObjectRankSystem(dataset.data_graph, flat, config, engine=engine)
+            traces.append(run_feedback_session(system, user, query, feedback_iterations=2))
+        curve = average_precision_curve(traces)
+        assert len(curve) == 3
+        for i, value in enumerate(curve):
+            expected = (traces[0].precisions[i] + traces[1].precisions[i]) / 2
+            assert value == pytest.approx(expected)
+
+    def test_empty_input(self):
+        assert average_precision_curve([]) == []

@@ -1,0 +1,72 @@
+"""Unit tests for authority-transfer-rate training (Section 6.1.1, Fig. 11)."""
+
+import pytest
+
+from repro.datasets import dblp_edge_order
+from repro.feedback import train_transfer_rates
+
+
+@pytest.fixture(scope="module")
+def curve(request):
+    dblp_tiny = request.getfixturevalue("dblp_tiny")
+    return train_transfer_rates(
+        dblp_tiny,
+        ["olap", "mining"],
+        adjustment_factor=0.5,
+        iterations=4,
+        edge_order=dblp_edge_order(dblp_tiny.schema),
+    )
+
+
+class TestTrainingCurve:
+    def test_curve_length(self, curve):
+        assert len(curve.similarities) == 5  # initial + 4 iterations
+        assert len(curve.rate_vectors) == 5
+
+    def test_initial_similarity_is_uniform_vector(self, curve):
+        # cosine([0.3]*8, ground truth) ~ 0.805
+        assert curve.similarities[0] == pytest.approx(0.805, abs=0.01)
+
+    def test_training_improves_similarity(self, curve):
+        """The learned rates move toward the ground truth (Figure 11's
+        rising phase)."""
+        assert max(curve.similarities[1:]) > curve.similarities[0] + 0.02
+
+    def test_learned_vector_boosts_citations(self, curve):
+        """PP (citations) is the dominant ground-truth rate; training must
+        discover that it carries the most authority."""
+        final = curve.rate_vectors[curve.peak_iteration]
+        assert final[0] == max(final)
+
+    def test_similarities_bounded(self, curve):
+        assert all(0.0 <= s <= 1.0 + 1e-9 for s in curve.similarities)
+
+    def test_peak_iteration(self, curve):
+        peak = curve.peak_iteration
+        assert curve.similarities[peak] == max(curve.similarities)
+
+
+class TestConfigurationEffects:
+    def test_larger_cf_moves_faster(self, dblp_tiny):
+        """Larger C_f adjusts rates more aggressively per iteration: after
+        one iteration its vector is farther from the initial one."""
+        order = dblp_edge_order(dblp_tiny.schema)
+        slow = train_transfer_rates(
+            dblp_tiny, ["olap"], adjustment_factor=0.1, iterations=1, edge_order=order
+        )
+        fast = train_transfer_rates(
+            dblp_tiny, ["olap"], adjustment_factor=0.9, iterations=1, edge_order=order
+        )
+
+        def distance(curve):
+            a, b = curve.rate_vectors[0], curve.rate_vectors[1]
+            return sum((x - y) ** 2 for x, y in zip(a, b))
+
+        assert distance(fast) > distance(slow)
+
+    def test_missing_ground_truth_rejected(self, dblp_tiny):
+        import dataclasses
+
+        stripped = dataclasses.replace(dblp_tiny, ground_truth_rates=None)
+        with pytest.raises(ValueError):
+            train_transfer_rates(stripped, ["olap"], 0.5, iterations=1)

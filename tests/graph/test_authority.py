@@ -1,0 +1,108 @@
+"""Unit tests for authority transfer schema graphs (rates per edge type)."""
+
+import pytest
+
+from repro.datasets import (
+    DBLP_GROUND_TRUTH_VECTOR,
+    dblp_edge_order,
+    dblp_schema,
+    dblp_transfer_schema,
+)
+from repro.errors import RateError
+from repro.graph import AuthorityTransferSchemaGraph, Direction, EdgeType, SchemaGraph
+
+
+@pytest.fixture
+def dblp_atsg():
+    return dblp_transfer_schema()
+
+
+class TestEdgeType:
+    def test_forward_source_target(self):
+        schema = dblp_schema()
+        cites = schema.edges[0]
+        forward = EdgeType(cites, Direction.FORWARD)
+        assert (forward.source, forward.target) == ("Paper", "Paper")
+        by = schema.edges[1]
+        backward = EdgeType(by, Direction.BACKWARD)
+        assert (backward.source, backward.target) == ("Author", "Paper")
+
+    def test_direction_flip(self):
+        assert Direction.FORWARD.flipped() is Direction.BACKWARD
+        assert Direction.BACKWARD.flipped() is Direction.FORWARD
+
+
+class TestRates:
+    def test_every_schema_edge_has_two_types(self, dblp_atsg):
+        assert len(dblp_atsg.edge_types()) == 2 * len(dblp_atsg.schema.edges)
+
+    def test_ground_truth_vector_round_trip(self, dblp_atsg):
+        order = dblp_edge_order(dblp_atsg.schema)
+        assert dblp_atsg.as_vector(order) == pytest.approx(DBLP_GROUND_TRUTH_VECTOR)
+
+    def test_with_vector_returns_new_graph(self, dblp_atsg):
+        order = dblp_edge_order(dblp_atsg.schema)
+        changed = dblp_atsg.with_vector([0.1] * 8, order)
+        assert changed.as_vector(order) == pytest.approx([0.1] * 8)
+        # original untouched
+        assert dblp_atsg.as_vector(order) == pytest.approx(DBLP_GROUND_TRUTH_VECTOR)
+
+    def test_with_vector_length_mismatch(self, dblp_atsg):
+        with pytest.raises(RateError):
+            dblp_atsg.with_vector([0.1, 0.2])
+
+    def test_negative_rate_rejected(self, dblp_atsg):
+        edge_type = dblp_atsg.edge_types()[0]
+        with pytest.raises(RateError):
+            dblp_atsg.set_rate(edge_type, -0.1)
+
+    def test_unknown_edge_type_rejected(self):
+        schema = SchemaGraph()
+        schema.add_label("A")
+        schema.add_edge("A", "A", "x")
+        other = SchemaGraph()
+        other.add_label("B")
+        foreign = EdgeType(other.add_edge("B", "B", "y"), Direction.FORWARD)
+        atsg = AuthorityTransferSchemaGraph(schema)
+        with pytest.raises(RateError):
+            atsg.rate(foreign)
+        with pytest.raises(RateError):
+            AuthorityTransferSchemaGraph(schema, {foreign: 0.5})
+
+    def test_epsilon_floors_every_rate(self):
+        schema = dblp_schema()
+        atsg = AuthorityTransferSchemaGraph(schema, epsilon=1e-6)
+        assert all(rate >= 1e-6 for rate in atsg.as_vector())
+
+    def test_copy_is_independent(self, dblp_atsg):
+        clone = dblp_atsg.copy()
+        edge_type = clone.edge_types()[0]
+        clone.set_rate(edge_type, 0.123)
+        assert dblp_atsg.rate(edge_type) != 0.123
+        assert clone != dblp_atsg
+
+    def test_equality_is_rate_based(self, dblp_atsg):
+        assert dblp_atsg == dblp_atsg.copy()
+
+
+class TestConvergenceChecks:
+    def test_paper_rates_are_convergent(self, dblp_atsg):
+        # Figure 3: Paper's outgoing sum is exactly 1.0.
+        assert dblp_atsg.outgoing_rate_sum("Paper") == pytest.approx(1.0)
+        assert dblp_atsg.is_convergent()
+
+    def test_outgoing_types_by_label(self, dblp_atsg):
+        sources = {t.source for t in dblp_atsg.outgoing_types("Year")}
+        assert sources == {"Year"}
+        # Year sends: has-backward (Year->Conference) + contains-forward.
+        roles = sorted(t.role for t in dblp_atsg.outgoing_types("Year"))
+        assert roles == ["contains", "has"]
+
+    def test_scaled_to_convergent(self):
+        schema = dblp_schema()
+        hot = AuthorityTransferSchemaGraph(schema, default_rate=0.9)
+        assert not hot.is_convergent()
+        cooled = hot.scaled_to_convergent()
+        assert cooled.is_convergent()
+        for label in schema.labels:
+            assert cooled.outgoing_rate_sum(label) <= 1.0 + 1e-9

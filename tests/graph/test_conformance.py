@@ -1,0 +1,81 @@
+"""Unit tests for data-graph-to-schema conformance (Section 2)."""
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.graph import (
+    DataGraph,
+    SchemaGraph,
+    check_conformance,
+    conforms,
+    find_violations,
+)
+
+
+@pytest.fixture
+def schema():
+    schema = SchemaGraph()
+    schema.add_label("Paper")
+    schema.add_label("Author")
+    schema.add_edge("Paper", "Paper", "cites")
+    schema.add_edge("Paper", "Author", "by")
+    return schema
+
+
+def make_graph():
+    graph = DataGraph()
+    graph.add_node("p1", "Paper", {"title": "a"})
+    graph.add_node("p2", "Paper", {"title": "b"})
+    graph.add_node("a1", "Author", {"name": "x"})
+    return graph
+
+
+class TestConforming:
+    def test_conforming_graph_passes(self, schema):
+        graph = make_graph()
+        graph.add_edge("p1", "p2", "cites")
+        graph.add_edge("p1", "a1", "by")
+        assert conforms(graph, schema)
+        check_conformance(graph, schema)  # no raise
+
+    def test_omitted_role_ok_when_unique(self, schema):
+        graph = make_graph()
+        graph.add_edge("p1", "a1")  # Paper->Author edge is unique in schema
+        assert conforms(graph, schema)
+
+    def test_empty_graph_conforms(self, schema):
+        assert conforms(DataGraph(), schema)
+
+
+class TestViolations:
+    def test_unknown_label(self, schema):
+        graph = make_graph()
+        graph.add_node("x", "Venue")
+        assert not conforms(graph, schema)
+        violations = find_violations(graph, schema)
+        assert any("Venue" in v for v in violations)
+
+    def test_edge_without_schema_edge(self, schema):
+        graph = make_graph()
+        graph.add_edge("a1", "p1", "by")  # Author->Paper not in schema
+        assert not conforms(graph, schema)
+
+    def test_wrong_role(self, schema):
+        graph = make_graph()
+        graph.add_edge("p1", "p2", "extends")
+        assert not conforms(graph, schema)
+
+    def test_check_conformance_raises_with_details(self, schema):
+        graph = make_graph()
+        graph.add_node("x", "Venue")
+        graph.add_edge("p1", "p2", "extends")
+        with pytest.raises(ConformanceError) as info:
+            check_conformance(graph, schema)
+        assert len(info.value.violations) == 2
+
+    def test_violation_limit(self, schema):
+        graph = DataGraph()
+        for i in range(80):
+            graph.add_node(f"v{i}", "Venue")
+        violations = find_violations(graph, schema, limit=10)
+        assert len(violations) == 10

@@ -1,0 +1,94 @@
+"""Unit tests for labeled data graphs."""
+
+import pytest
+
+from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.graph import DataGraph
+
+
+@pytest.fixture
+def small():
+    graph = DataGraph()
+    graph.add_node("p1", "Paper", {"title": "Index Selection for OLAP"})
+    graph.add_node("p2", "Paper", {"title": "Data Cube"})
+    graph.add_node("a1", "Author", {"name": "R. Agrawal"})
+    graph.add_edge("p1", "p2", "cites")
+    graph.add_edge("p1", "a1", "by")
+    return graph
+
+
+class TestNodes:
+    def test_node_lookup(self, small):
+        node = small.node("p1")
+        assert node.label == "Paper"
+        assert node.attributes["title"] == "Index Selection for OLAP"
+
+    def test_unknown_node_raises(self, small):
+        with pytest.raises(UnknownNodeError):
+            small.node("nope")
+
+    def test_duplicate_node_raises(self, small):
+        with pytest.raises(DuplicateNodeError):
+            small.add_node("p1", "Paper")
+
+    def test_contains_and_len(self, small):
+        assert "p1" in small
+        assert "zz" not in small
+        assert len(small) == 3
+
+    def test_node_text_joins_attribute_values(self, small):
+        assert small.node("p1").text() == "Index Selection for OLAP"
+
+    def test_node_text_with_metadata_includes_names(self, small):
+        assert "title" in small.node("p1").text(include_metadata=True)
+
+    def test_nodes_with_label(self, small):
+        assert [n.node_id for n in small.nodes_with_label("Paper")] == ["p1", "p2"]
+
+    def test_label_counts(self, small):
+        assert small.label_counts() == {"Paper": 2, "Author": 1}
+
+    def test_attributes_are_copied_on_add(self):
+        graph = DataGraph()
+        attrs = {"title": "x"}
+        graph.add_node("n", "Paper", attrs)
+        attrs["title"] = "mutated"
+        assert graph.node("n").attributes["title"] == "x"
+
+
+class TestEdges:
+    def test_edge_endpoints_must_exist(self, small):
+        with pytest.raises(UnknownNodeError):
+            small.add_edge("p1", "nope")
+        with pytest.raises(UnknownNodeError):
+            small.add_edge("nope", "p1")
+
+    def test_degrees(self, small):
+        assert small.out_degree("p1") == 2
+        assert small.in_degree("p2") == 1
+        assert small.in_degree("p1") == 0
+
+    def test_out_in_edges(self, small):
+        out = small.out_edges("p1")
+        assert {(e.target, e.role) for e in out} == {("p2", "cites"), ("a1", "by")}
+        incoming = small.in_edges("a1")
+        assert [(e.source, e.role) for e in incoming] == [("p1", "by")]
+
+    def test_degree_unknown_node_raises(self, small):
+        with pytest.raises(UnknownNodeError):
+            small.out_degree("zz")
+        with pytest.raises(UnknownNodeError):
+            small.in_degree("zz")
+
+    def test_parallel_edges_allowed(self, small):
+        small.add_edge("p1", "p2", "cites")
+        assert small.num_edges == 3
+
+    def test_self_loop_allowed(self, small):
+        small.add_edge("p1", "p1", "cites")
+        assert small.out_degree("p1") == 3
+        assert small.in_degree("p1") == 1
+
+    def test_counts(self, small):
+        assert small.num_nodes == 3
+        assert small.num_edges == 2

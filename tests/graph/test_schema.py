@@ -1,0 +1,100 @@
+"""Unit tests for schema graphs."""
+
+import pytest
+
+from repro.errors import UnknownLabelError
+from repro.graph import SchemaEdge, SchemaGraph
+
+
+@pytest.fixture
+def dblp_like():
+    schema = SchemaGraph()
+    for label in ("Paper", "Author"):
+        schema.add_label(label)
+    schema.add_edge("Paper", "Paper", "cites")
+    schema.add_edge("Paper", "Author", "by")
+    return schema
+
+
+class TestConstruction:
+    def test_labels_preserve_insertion_order(self):
+        schema = SchemaGraph()
+        for label in ("C", "A", "B"):
+            schema.add_label(label)
+        assert schema.labels == ["C", "A", "B"]
+
+    def test_adding_same_label_twice_is_noop(self):
+        schema = SchemaGraph()
+        schema.add_label("Paper")
+        schema.add_label("Paper")
+        assert schema.labels == ["Paper"]
+
+    def test_edge_requires_known_labels(self):
+        schema = SchemaGraph()
+        schema.add_label("Paper")
+        with pytest.raises(UnknownLabelError):
+            schema.add_edge("Paper", "Nope")
+        with pytest.raises(UnknownLabelError):
+            schema.add_edge("Nope", "Paper")
+
+    def test_default_role_is_generated(self):
+        schema = SchemaGraph()
+        schema.add_label("A")
+        schema.add_label("B")
+        edge = schema.add_edge("A", "B")
+        assert edge.role == "A_B"
+
+    def test_duplicate_edge_is_deduplicated(self, dblp_like):
+        before = len(dblp_like.edges)
+        dblp_like.add_edge("Paper", "Paper", "cites")
+        assert len(dblp_like.edges) == before
+
+    def test_parallel_edges_with_distinct_roles(self):
+        schema = SchemaGraph()
+        schema.add_label("Paper")
+        schema.add_edge("Paper", "Paper", "cites")
+        schema.add_edge("Paper", "Paper", "extends")
+        assert len(schema.edges_between("Paper", "Paper")) == 2
+
+
+class TestInspection:
+    def test_out_and_in_edges(self, dblp_like):
+        out_roles = {e.role for e in dblp_like.out_edges("Paper")}
+        assert out_roles == {"cites", "by"}
+        in_roles = {e.role for e in dblp_like.in_edges("Author")}
+        assert in_roles == {"by"}
+
+    def test_out_edges_unknown_label_raises(self, dblp_like):
+        with pytest.raises(UnknownLabelError):
+            dblp_like.out_edges("Nope")
+
+    def test_has_edge(self, dblp_like):
+        assert dblp_like.has_edge(SchemaEdge("Paper", "Author", "by"))
+        assert not dblp_like.has_edge(SchemaEdge("Author", "Paper", "by"))
+
+    def test_len_and_iter(self, dblp_like):
+        assert len(dblp_like) == 2
+        assert list(dblp_like) == ["Paper", "Author"]
+
+
+class TestResolveEdge:
+    def test_resolves_exact_role(self, dblp_like):
+        edge = dblp_like.resolve_edge("Paper", "Paper", "cites")
+        assert edge == SchemaEdge("Paper", "Paper", "cites")
+
+    def test_wrong_role_returns_none(self, dblp_like):
+        assert dblp_like.resolve_edge("Paper", "Paper", "extends") is None
+
+    def test_omitted_role_resolves_when_unique(self, dblp_like):
+        edge = dblp_like.resolve_edge("Paper", "Author", None)
+        assert edge is not None and edge.role == "by"
+
+    def test_omitted_role_ambiguous_returns_none(self):
+        schema = SchemaGraph()
+        schema.add_label("Paper")
+        schema.add_edge("Paper", "Paper", "cites")
+        schema.add_edge("Paper", "Paper", "extends")
+        assert schema.resolve_edge("Paper", "Paper", None) is None
+
+    def test_unknown_source_label_returns_none(self, dblp_like):
+        assert dblp_like.resolve_edge("Nope", "Paper", None) is None

@@ -1,0 +1,61 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.datasets.figure1 import figure1_dataset
+from repro.graph import load_dataset, save_dataset
+from repro.graph.serialization import (
+    data_graph_from_dict,
+    data_graph_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    transfer_schema_from_dict,
+    transfer_schema_to_dict,
+)
+
+
+@pytest.fixture
+def dataset():
+    return figure1_dataset()
+
+
+class TestDictRoundTrips:
+    def test_schema_round_trip(self, dataset):
+        restored = schema_from_dict(schema_to_dict(dataset.schema))
+        assert restored.labels == dataset.schema.labels
+        assert restored.edges == dataset.schema.edges
+
+    def test_transfer_schema_round_trip(self, dataset):
+        restored = transfer_schema_from_dict(
+            transfer_schema_to_dict(dataset.transfer_schema)
+        )
+        assert restored == dataset.transfer_schema
+        assert restored.edge_types() == dataset.transfer_schema.edge_types()
+
+    def test_data_graph_round_trip(self, dataset):
+        restored = data_graph_from_dict(data_graph_to_dict(dataset.data_graph))
+        assert restored.node_ids() == dataset.data_graph.node_ids()
+        assert restored.edges() == dataset.data_graph.edges()
+        assert (
+            restored.node("v4").attributes == dataset.data_graph.node("v4").attributes
+        )
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, dataset, tmp_path):
+        path = tmp_path / "figure1.json"
+        save_dataset(path, dataset.data_graph, dataset.transfer_schema, name="figure1")
+        graph, transfer_schema, name = load_dataset(path)
+        assert name == "figure1"
+        assert graph.num_nodes == dataset.data_graph.num_nodes
+        assert graph.num_edges == dataset.data_graph.num_edges
+        assert transfer_schema == dataset.transfer_schema
+
+    def test_epsilon_preserved(self, dataset, tmp_path):
+        from repro.graph import AuthorityTransferSchemaGraph
+
+        eps_schema = AuthorityTransferSchemaGraph(dataset.schema, epsilon=1e-5)
+        path = tmp_path / "eps.json"
+        save_dataset(path, dataset.data_graph, eps_schema)
+        _, restored, _ = load_dataset(path)
+        assert restored.epsilon == 1e-5

@@ -1,0 +1,155 @@
+"""Unit tests for the materialized authority transfer data graph (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dblp_transfer_schema
+from repro.datasets.figure1 import figure1_dataset
+from repro.errors import GraphError, UnknownNodeError
+from repro.graph import (
+    AuthorityTransferDataGraph,
+    AuthorityTransferSchemaGraph,
+    DataGraph,
+    SchemaGraph,
+)
+
+
+@pytest.fixture
+def figure1_atdg():
+    dataset = figure1_dataset()
+    return AuthorityTransferDataGraph(dataset.data_graph, dataset.transfer_schema)
+
+
+class TestMaterialization:
+    def test_two_transfer_edges_per_data_edge(self, figure1_atdg):
+        assert figure1_atdg.num_edges == 2 * figure1_atdg.data_graph.num_edges
+
+    def test_node_index_round_trip(self, figure1_atdg):
+        for node_id in figure1_atdg.node_ids:
+            assert figure1_atdg.node_id_of(figure1_atdg.index_of(node_id)) == node_id
+
+    def test_unknown_node_raises(self, figure1_atdg):
+        with pytest.raises(UnknownNodeError):
+            figure1_atdg.index_of("nope")
+
+    def test_label_of(self, figure1_atdg):
+        assert figure1_atdg.label_of(figure1_atdg.index_of("v6")) == "Author"
+
+    def test_outdegree_split_figure5(self, figure1_atdg):
+        """Figure 5: v5 cites two papers, so each cites edge carries 0.7/2."""
+        v5 = figure1_atdg.index_of("v5")
+        cites_rates = [
+            figure1_atdg.edge_rate[e]
+            for e in figure1_atdg.out_edge_ids(v5)
+            if figure1_atdg.edge_type_of(int(e)).role == "cites"
+            and figure1_atdg.edge_type_of(int(e)).direction.value == "forward"
+        ]
+        assert cites_rates == pytest.approx([0.35, 0.35])
+
+    def test_backward_rate_uses_target_outdegree(self, figure1_atdg):
+        """v6 (R. Agrawal) has two papers, so each AP edge carries 0.2/2."""
+        v6 = figure1_atdg.index_of("v6")
+        ap_rates = [
+            figure1_atdg.edge_rate[e]
+            for e in figure1_atdg.out_edge_ids(v6)
+        ]
+        assert sorted(ap_rates) == pytest.approx([0.1, 0.1])
+
+    def test_zero_rate_edge_types(self, figure1_atdg):
+        """The cited (cites-backward) direction carries rate 0 in Figure 3."""
+        backward_cites = [
+            figure1_atdg.edge_rate[i]
+            for i in range(figure1_atdg.num_edges)
+            if figure1_atdg.edge_type_of(i).role == "cites"
+            and figure1_atdg.edge_type_of(i).direction.value == "backward"
+        ]
+        assert backward_cites and all(r == 0.0 for r in backward_cites)
+
+
+class TestMatrix:
+    def test_matrix_orientation(self, figure1_atdg):
+        """A[j, i] must be the total rate of edges i -> j."""
+        matrix = figure1_atdg.matrix().toarray()
+        v4 = figure1_atdg.index_of("v4")
+        v6 = figure1_atdg.index_of("v6")
+        # v4 -> v6 is the only by-edge of v4, so rate 0.2.
+        assert matrix[v6, v4] == pytest.approx(0.2)
+
+    def test_column_sums_bounded_by_schema(self, figure1_atdg):
+        """Each node's outgoing rate sum is at most its label's schema sum."""
+        matrix = figure1_atdg.matrix()
+        column_sums = np.asarray(matrix.sum(axis=0)).ravel()
+        assert (column_sums <= 1.0 + 1e-9).all()
+
+    def test_matrix_cached_and_invalidated(self, figure1_atdg):
+        first = figure1_atdg.matrix()
+        assert figure1_atdg.matrix() is first
+        figure1_atdg.set_transfer_rates(dblp_transfer_schema())
+        assert figure1_atdg.matrix() is not first
+
+
+class TestRateSwap:
+    def test_set_transfer_rates_recomputes(self, figure1_atdg):
+        new_rates = dblp_transfer_schema([0.1] * 8)
+        figure1_atdg.set_transfer_rates(new_rates)
+        v4 = figure1_atdg.index_of("v4")
+        v6 = figure1_atdg.index_of("v6")
+        assert figure1_atdg.matrix().toarray()[v6, v4] == pytest.approx(0.1)
+        # restore for other tests using the fixture instance
+        figure1_atdg.set_transfer_rates(dblp_transfer_schema())
+
+    def test_swap_requires_same_edge_types(self, figure1_atdg):
+        other_schema = SchemaGraph()
+        other_schema.add_label("X")
+        other_schema.add_edge("X", "X", "loops")
+        with pytest.raises(GraphError):
+            figure1_atdg.set_transfer_rates(AuthorityTransferSchemaGraph(other_schema))
+
+
+class TestIncidence:
+    def test_out_in_edge_ids_partition_edges(self, figure1_atdg):
+        total_out = sum(
+            len(figure1_atdg.out_edge_ids(i)) for i in range(figure1_atdg.num_nodes)
+        )
+        total_in = sum(
+            len(figure1_atdg.in_edge_ids(i)) for i in range(figure1_atdg.num_nodes)
+        )
+        assert total_out == figure1_atdg.num_edges
+        assert total_in == figure1_atdg.num_edges
+
+    def test_incidence_consistency(self, figure1_atdg):
+        for node in range(figure1_atdg.num_nodes):
+            for edge_id in figure1_atdg.out_edge_ids(node):
+                assert figure1_atdg.edge_source[edge_id] == node
+            for edge_id in figure1_atdg.in_edge_ids(node):
+                assert figure1_atdg.edge_target[edge_id] == node
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        schema = SchemaGraph()
+        schema.add_label("A")
+        atdg = AuthorityTransferDataGraph(
+            DataGraph(), AuthorityTransferSchemaGraph(schema)
+        )
+        assert atdg.num_nodes == 0
+        assert atdg.num_edges == 0
+        assert atdg.matrix().shape == (0, 0)
+
+    def test_nodes_without_edges(self):
+        schema = SchemaGraph()
+        schema.add_label("A")
+        graph = DataGraph()
+        graph.add_node("a", "A")
+        graph.add_node("b", "A")
+        atdg = AuthorityTransferDataGraph(graph, AuthorityTransferSchemaGraph(schema))
+        assert atdg.num_nodes == 2
+        assert len(atdg.out_edge_ids(0)) == 0
+
+    def test_validation_rejects_nonconforming(self):
+        schema = SchemaGraph()
+        schema.add_label("A")
+        graph = DataGraph()
+        graph.add_node("x", "B")
+        with pytest.raises(Exception):
+            AuthorityTransferDataGraph(graph, AuthorityTransferSchemaGraph(schema))

@@ -1,0 +1,112 @@
+"""End-to-end integration tests over the synthetic datasets."""
+
+import pytest
+
+from repro.core import ObjectRankSystem, SystemConfig
+from repro.datasets import dblp_edge_order, keyword_subset
+from repro.feedback import (
+    SimulatedUser,
+    run_feedback_session,
+    train_transfer_rates,
+)
+from repro.graph import AuthorityTransferSchemaGraph
+from repro.query import SearchEngine
+
+
+class TestDblpPipeline:
+    def test_full_session_on_synthetic_dblp(self, dblp_tiny):
+        system = ObjectRankSystem(
+            dblp_tiny.data_graph, dblp_tiny.transfer_schema, SystemConfig(top_k=10)
+        )
+        result = system.query("olap cube")
+        assert len(result.top) == 10
+
+        explanation = system.explain(result.top[0][0])
+        assert explanation.converged
+
+        outcome = system.feedback([result.top[0][0], result.top[1][0]])
+        assert outcome.result.iterations >= 1
+        assert len(system.timings) == 2
+
+    def test_topical_query_returns_topical_results(self, dblp_tiny):
+        """The synthetic generator's topic structure must be recoverable:
+        most top results for 'olap' are olap-topic papers or their hubs."""
+        system = ObjectRankSystem(
+            dblp_tiny.data_graph, dblp_tiny.transfer_schema, SystemConfig(top_k=10)
+        )
+        result = system.query("olap")
+        topics = dblp_tiny.extras["paper_topics"]
+        paper_hits = [nid for nid, _ in result.top if nid in topics]
+        assert paper_hits
+        olap_hits = [nid for nid in paper_hits if topics[nid] == "olap"]
+        assert len(olap_hits) >= len(paper_hits) / 2
+
+    def test_multi_session_isolation(self, dblp_tiny):
+        """Two systems sharing one engine must not leak rates/state."""
+        engine = SearchEngine(dblp_tiny.data_graph, dblp_tiny.transfer_schema)
+        config = SystemConfig.structure_only(top_k=5)
+        one = ObjectRankSystem(
+            dblp_tiny.data_graph, dblp_tiny.transfer_schema, config, engine=engine
+        )
+        two = ObjectRankSystem(
+            dblp_tiny.data_graph, dblp_tiny.transfer_schema, config, engine=engine
+        )
+        first = one.query("olap")
+        one.feedback([first.top[0][0]])
+        baseline = two.query("olap")
+        repeat = two.query("olap")
+        assert baseline.ranked.ranking() == repeat.ranked.ranking()
+
+
+class TestBiologicalPipeline:
+    def test_cancer_query_on_bio_graph(self, bio_tiny):
+        system = ObjectRankSystem(
+            bio_tiny.data_graph, bio_tiny.transfer_schema, SystemConfig(top_k=10)
+        )
+        result = system.query("cancer")
+        assert result.top
+        explanation = system.explain(result.top[0][0])
+        assert explanation.converged
+
+    def test_gene_reached_through_publications(self, bio_tiny):
+        """A gene can rank for 'cancer' without containing the word — the
+        paper's motivating biology scenario."""
+        system = ObjectRankSystem(
+            bio_tiny.data_graph, bio_tiny.transfer_schema, SystemConfig(top_k=50)
+        )
+        result = system.query("cancer")
+        labels = {bio_tiny.data_graph.node(nid).label for nid, _ in result.top}
+        assert labels - {"PubMed"}  # non-publication entities surface too
+
+    def test_ds7cancer_subset_pipeline(self, bio_tiny):
+        subset = keyword_subset(bio_tiny, "cancer", hops=1, seed_labels=("PubMed",))
+        system = ObjectRankSystem(
+            subset.data_graph, subset.transfer_schema, SystemConfig(top_k=5)
+        )
+        result = system.query("cancer")
+        assert result.top
+
+
+class TestLearningLoop:
+    def test_structure_feedback_recovers_rates(self, dblp_tiny):
+        curve = train_transfer_rates(
+            dblp_tiny,
+            ["olap", "xml"],
+            adjustment_factor=0.5,
+            iterations=3,
+            edge_order=dblp_edge_order(dblp_tiny.schema),
+        )
+        assert max(curve.similarities) > curve.similarities[0]
+
+    def test_survey_session_runs_all_settings(self, dblp_tiny):
+        flat = AuthorityTransferSchemaGraph(dblp_tiny.schema, default_rate=0.3)
+        engine = SearchEngine(dblp_tiny.data_graph, flat)
+        user = SimulatedUser(engine, dblp_tiny.ground_truth_rates, relevance_depth=30)
+        for config in (
+            SystemConfig.content_only(top_k=10),
+            SystemConfig.structure_only(top_k=10),
+            SystemConfig.content_and_structure(top_k=10),
+        ):
+            system = ObjectRankSystem(dblp_tiny.data_graph, flat, config, engine=engine)
+            trace = run_feedback_session(system, user, "olap", feedback_iterations=2)
+            assert len(trace.precisions) == 3

@@ -1,0 +1,62 @@
+"""Unit tests for index persistence."""
+
+import json
+
+import pytest
+
+from repro.ir import Analyzer, BM25Scorer, InvertedIndex, load_index, save_index
+
+
+@pytest.fixture
+def index():
+    return InvertedIndex.from_documents(
+        [
+            ("d1", "olap cube aggregation"),
+            ("d2", "olap olap indexing"),
+            ("d3", "xml query processing"),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_statistics_preserved(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.num_documents == index.num_documents
+        assert restored.average_document_length == index.average_document_length
+        for term in index.vocabulary():
+            assert restored.document_frequency(term) == index.document_frequency(term)
+        assert restored.term_frequency("olap", "d2") == 2
+
+    def test_scores_identical(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path)
+        original_scorer = BM25Scorer(index)
+        restored_scorer = BM25Scorer(restored)
+        for doc in ("d1", "d2", "d3"):
+            assert restored_scorer.score(doc, {"olap": 1.0, "xml": 1.0}) == (
+                pytest.approx(original_scorer.score(doc, {"olap": 1.0, "xml": 1.0}))
+            )
+
+    def test_restored_index_is_mutable(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path, analyzer=Analyzer())
+        restored.add_document("d4", "fresh olap document")
+        assert restored.document_frequency("olap") == 3
+        restored.remove_document("d1")
+        assert restored.num_documents == 3
+
+    def test_empty_index_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_index(InvertedIndex(), path)
+        restored = load_index(path)
+        assert restored.num_documents == 0
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "documents": {}}))
+        with pytest.raises(ValueError):
+            load_index(path)

@@ -1,0 +1,97 @@
+"""Property-based tests for the IR substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.feedback import cosine_similarity, precision_at_k
+from repro.ir import Analyzer, BM25Scorer, InvertedIndex, tokenize
+
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs", "Po")),
+    max_size=80,
+)
+documents = st.lists(
+    st.tuples(st.uuids().map(str), texts), min_size=1, max_size=10, unique_by=lambda d: d[0]
+)
+
+
+@given(texts)
+@settings(max_examples=60)
+def test_tokenize_idempotent(text):
+    tokens = tokenize(text)
+    assert tokenize(" ".join(tokens)) == tokens
+
+
+@given(texts)
+@settings(max_examples=60)
+def test_tokens_are_lowercase_alnum(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token.isalnum()
+
+
+@given(documents)
+@settings(max_examples=40)
+def test_df_equals_postings_length(docs):
+    index = InvertedIndex.from_documents(docs)
+    for term in index.vocabulary():
+        assert index.document_frequency(term) == len(index.postings(term))
+
+
+@given(documents)
+@settings(max_examples=40)
+def test_doc_terms_consistent_with_postings(docs):
+    index = InvertedIndex.from_documents(docs)
+    for doc_id, _ in docs:
+        for term, tf in index.terms_of_document(doc_id).items():
+            assert index.term_frequency(term, doc_id) == tf
+
+
+@given(documents)
+@settings(max_examples=40)
+def test_remove_all_leaves_empty_index(docs):
+    index = InvertedIndex.from_documents(docs)
+    for doc_id, _ in docs:
+        index.remove_document(doc_id)
+    assert index.num_documents == 0
+    assert index.vocabulary() == []
+    assert index.average_document_length == 0.0
+
+
+@given(documents)
+@settings(max_examples=40)
+def test_bm25_weight_positive_iff_tf_positive_and_idf_positive(docs):
+    index = InvertedIndex.from_documents(docs)
+    scorer = BM25Scorer(index)
+    for doc_id, _ in docs:
+        for term in index.vocabulary():
+            weight = scorer.weight(doc_id, term)
+            if index.term_frequency(term, doc_id) == 0 or scorer.idf(term) == 0.0:
+                assert weight == 0.0
+            else:
+                assert weight > 0.0
+
+
+@given(st.lists(st.floats(0, 10), min_size=1, max_size=12))
+@settings(max_examples=60)
+def test_cosine_bounds_and_self_similarity(vector):
+    # Guard on the squared norm: entries like 5e-324 underflow to norm 0,
+    # where the function's zero-vector convention (similarity 0) applies.
+    if sum(v * v for v in vector) > 0:
+        assert cosine_similarity(vector, vector) == __import__("pytest").approx(1.0)
+    value = cosine_similarity(vector, list(reversed(vector)))
+    assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(
+    st.lists(st.uuids().map(str), min_size=1, max_size=20, unique=True),
+    st.data(),
+)
+@settings(max_examples=40)
+def test_precision_bounds(ranking, data):
+    relevant = set(
+        data.draw(st.lists(st.sampled_from(ranking), max_size=len(ranking)))
+    )
+    k = data.draw(st.integers(1, len(ranking)))
+    value = precision_at_k(ranking, relevant, k)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,99 @@
+"""Property-based tests for reformulation invariants (Section 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import dblp_transfer_schema
+from repro.explain import adjust_flows, build_explaining_subgraph
+from repro.query import QueryVector
+from repro.ranking import objectrank
+from repro.reformulate import ContentReformulator, StructureReformulator
+
+from tests.properties.strategies import dblp_transfer_graphs, rate_vectors
+
+
+def _explanation(atdg, target_index):
+    papers = [n for n in atdg.node_ids if n.startswith("paper:")]
+    result = objectrank(atdg, papers, damping=0.85, tolerance=1e-12)
+    target = papers[target_index % len(papers)]
+    subgraph = build_explaining_subgraph(atdg, papers, target, radius=None)
+    return adjust_flows(subgraph, result.scores, 0.85, tolerance=1e-12)
+
+
+@given(dblp_transfer_graphs(), st.integers(0, 50), st.floats(0.05, 1.0))
+@settings(max_examples=20, deadline=None)
+def test_structure_result_always_convergent(atdg, target_index, cf):
+    explanation = _explanation(atdg, target_index)
+    after = StructureReformulator(cf).reformulate(
+        dblp_transfer_schema(), [explanation]
+    )
+    assert after.is_convergent()
+    assert all(rate >= 0 for rate in after.as_vector())
+
+
+@given(dblp_transfer_graphs(), st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_structure_preserves_zero_rates(atdg, target_index):
+    """A zero-rate edge type (DBLP's 'cited') can never gain rate: Equation
+    13 multiplies the previous rate."""
+    explanation = _explanation(atdg, target_index)
+    before = dblp_transfer_schema()
+    after = StructureReformulator(0.7).reformulate(before, [explanation])
+    for edge_type in before.edge_types():
+        if before.rate(edge_type) == 0.0:
+            assert after.rate(edge_type) == 0.0
+
+
+@given(dblp_transfer_graphs(), st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_max_flow_type_gets_max_relative_boost(atdg, target_index):
+    explanation = _explanation(atdg, target_index)
+    factors = explanation.flow_by_edge_type()
+    if not factors or max(factors.values()) <= 0:
+        return
+    before = dblp_transfer_schema()
+    after = StructureReformulator(0.5).reformulate(before, [explanation])
+    ratios = {
+        t: after.rate(t) / before.rate(t)
+        for t in before.edge_types()
+        if before.rate(t) > 0
+    }
+    best_type = max(
+        (t for t in factors if before.rate(t) > 0),
+        key=lambda t: factors[t],
+        default=None,
+    )
+    if best_type is not None:
+        assert ratios[best_type] >= max(ratios.values()) - 1e-9
+
+
+@given(dblp_transfer_graphs(), st.integers(0, 50), st.floats(0.05, 1.0))
+@settings(max_examples=20, deadline=None)
+def test_content_weights_non_negative_and_no_stopwords(atdg, target_index, decay):
+    explanation = _explanation(atdg, target_index)
+    reformulator = ContentReformulator(decay=decay, expansion_factor=0.5)
+    weights = reformulator.term_weights(explanation)
+    assert all(w >= 0 for w in weights.values())
+    assert all(not reformulator.analyzer.is_stopword(t) for t in weights)
+
+
+@given(dblp_transfer_graphs(), st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_content_reformulation_never_drops_query_terms(atdg, target_index):
+    explanation = _explanation(atdg, target_index)
+    reformulator = ContentReformulator()
+    vector = QueryVector({"olap": 1.0, "xml": 2.0})
+    new_vector = reformulator.reformulate(vector, [explanation])
+    for term in vector.terms:
+        assert new_vector.weight(term) >= vector.weight(term)
+
+
+@given(rate_vectors())
+@settings(max_examples=40, deadline=None)
+def test_rate_vector_round_trip(vector):
+    from repro.datasets import dblp_edge_order
+
+    schema = dblp_transfer_schema()
+    order = dblp_edge_order(schema.schema)
+    rebuilt = schema.with_vector(vector, order)
+    assert rebuilt.as_vector(order) == [float(v) for v in vector]

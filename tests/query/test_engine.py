@@ -1,0 +1,100 @@
+"""Unit tests for the search engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import dblp_transfer_schema
+from repro.datasets.figure1 import figure1_dataset
+from repro.errors import EmptyBaseSetError
+from repro.query import KeywordQuery, QueryVector, SearchEngine
+
+
+@pytest.fixture
+def engine():
+    dataset = figure1_dataset()
+    return SearchEngine(dataset.data_graph, dataset.transfer_schema, tolerance=1e-8)
+
+
+class TestQueryVectorNormalization:
+    def test_accepts_string(self, engine):
+        vector = engine.query_vector("OLAP cubes")
+        assert vector.weights == {"olap": 1.0, "cubes": 1.0}
+
+    def test_accepts_keyword_query(self, engine):
+        vector = engine.query_vector(KeywordQuery(["olap"]))
+        assert vector.weights == {"olap": 1.0}
+
+    def test_passes_through_query_vector(self, engine):
+        vector = QueryVector({"olap": 2.0})
+        assert engine.query_vector(vector) is vector
+
+
+class TestSearch:
+    def test_data_cube_tops_olap_query(self, engine):
+        """The paper's headline example: 'Data Cube' (v7) ranks first for
+        'OLAP' despite not containing the keyword."""
+        result = engine.search("OLAP", top_k=7)
+        assert result.top[0][0] == "v7"
+
+    def test_top_k_limits_results(self, engine):
+        result = engine.search("OLAP", top_k=3)
+        assert len(result.top) == 3
+        assert len(result.hit_ids()) == 3
+
+    def test_base_set_is_olap_papers(self, engine):
+        result = engine.search("OLAP")
+        assert set(result.ranked.base_weights) == {"v1", "v4"}
+
+    def test_empty_base_set_raises(self, engine):
+        with pytest.raises(EmptyBaseSetError):
+            engine.search("nonexistentterm")
+
+    def test_scores_bounded_like_probabilities(self, engine):
+        """Scores are non-negative and sum to at most 1.  The sum is *below*
+        1 because the transfer matrix is substochastic: a node missing some
+        edge types lets part of its authority evaporate (Section 2)."""
+        result = engine.search("OLAP")
+        assert (result.scores >= 0).all()
+        assert 0.0 < result.scores.sum() <= 1.0 + 1e-9
+
+    def test_warm_start_converges_to_same_ranking(self, engine):
+        cold = engine.search("OLAP")
+        warm = engine.search("OLAP", init=cold.scores)
+        assert warm.ranked.ranking() == cold.ranked.ranking()
+        assert warm.iterations <= cold.iterations
+
+    def test_rates_override(self, engine):
+        default = engine.search("OLAP")
+        # Kill citation authority: v7 can no longer dominate.
+        no_cites = dblp_transfer_schema([0.0, 0.0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1])
+        overridden = engine.search("OLAP", rates=no_cites)
+        assert overridden.ranked.ranking() != default.ranked.ranking()
+        assert overridden.top[0][0] in {"v1", "v4"}
+
+    def test_elapsed_recorded(self, engine):
+        result = engine.search("OLAP")
+        assert result.elapsed_seconds > 0
+
+
+class TestLabelFilter:
+    def test_only_requested_labels_returned(self, engine):
+        result = engine.search("OLAP", top_k=5, labels=("Paper",))
+        dataset_graph = engine.data_graph
+        assert result.top
+        assert all(
+            dataset_graph.node(node_id).label == "Paper"
+            for node_id, _ in result.top
+        )
+
+    def test_filtered_order_matches_global_ranking(self, engine):
+        unfiltered = engine.search("OLAP", top_k=7)
+        filtered = engine.search("OLAP", top_k=7, labels=("Paper",))
+        paper_order = [
+            nid for nid in unfiltered.ranked.ranking()
+            if engine.data_graph.node(nid).label == "Paper"
+        ]
+        assert filtered.hit_ids() == paper_order[:7]
+
+    def test_unknown_label_yields_empty(self, engine):
+        result = engine.search("OLAP", labels=("Venue",))
+        assert result.top == []

@@ -1,0 +1,82 @@
+"""Unit tests for the live (evolving-database) search engine."""
+
+import pytest
+
+from repro.datasets.figure1 import figure1_dataset
+from repro.errors import ConformanceError, UnknownNodeError
+from repro.query.live import LiveSearchEngine
+
+
+@pytest.fixture
+def engine():
+    dataset = figure1_dataset()
+    return LiveSearchEngine(
+        dataset.data_graph, dataset.transfer_schema, tolerance=1e-8
+    )
+
+
+class TestMutation:
+    def test_new_node_searchable_immediately(self, engine):
+        engine.add_node("p_new", "Paper", {"title": "Adaptive OLAP dashboards"})
+        result = engine.search("dashboards")
+        assert result.top[0][0] == "p_new"
+
+    def test_new_edge_changes_ranking(self, engine):
+        before = engine.search("OLAP", top_k=8)
+        engine.add_node("p_new", "Paper", {"title": "A survey citing Data Cube"})
+        engine.add_edge("p_new", "v7", "cites")
+        after = engine.search("OLAP", top_k=8)
+        v7_before = before.ranked.score_of("v7")
+        v7_after = after.ranked.score_of("v7")
+        # v7 gains another citation; its relative mass cannot collapse.
+        assert v7_after > 0
+        assert after.ranked.ranking()[0] == "v7"
+        assert v7_before > 0
+
+    def test_pending_counter_and_lazy_rebuild(self, engine):
+        assert engine.pending_updates == 0
+        engine.add_node("x1", "Author", {"name": "New Author"})
+        engine.add_node("x2", "Author", {"name": "Other Author"})
+        assert engine.pending_updates == 2
+        _ = engine.graph  # forces rebuild
+        assert engine.pending_updates == 0
+
+    def test_edge_requires_existing_nodes(self, engine):
+        with pytest.raises(UnknownNodeError):
+            engine.add_edge("nope", "v7", "cites")
+
+    def test_nonconforming_insert_fails_on_next_search(self, engine):
+        engine.add_node("weird", "Venue", {"name": "not in schema"})
+        with pytest.raises(ConformanceError):
+            engine.search("OLAP")
+
+
+class TestWarmStartAcrossUpdates:
+    def test_carry_over_preserves_surviving_scores(self, engine):
+        first = engine.search("OLAP")
+        engine.add_node("p_new", "Paper", {"title": "Fresh OLAP work"})
+        carried = engine.carry_over_scores(first)
+        graph = engine.graph
+        v7 = graph.index_of("v7")
+        assert carried[v7] == pytest.approx(first.ranked.score_of("v7"))
+        fresh = graph.index_of("p_new")
+        assert carried[fresh] == pytest.approx(1.0 / graph.num_nodes)
+
+    def test_carry_over_none_without_previous(self, engine):
+        assert engine.carry_over_scores(None) is None
+
+    def test_warm_search_converges_faster_after_insert(self, engine):
+        first = engine.search("OLAP")
+        engine.add_node("p_new", "Paper", {"title": "More OLAP cubes"})
+        engine.add_edge("p_new", "v7", "cites")
+        cold = engine.search("OLAP")
+        warm = engine.search("OLAP", previous=first)
+        assert warm.ranked.ranking() == cold.ranked.ranking()
+        assert warm.iterations <= cold.iterations
+
+    def test_same_fixpoint_with_and_without_carry(self, engine):
+        first = engine.search("OLAP")
+        engine.add_node("p_new", "Paper", {"title": "OLAP again"})
+        cold = engine.search("OLAP")
+        warm = engine.search("OLAP", previous=first)
+        assert warm.ranked.scores == pytest.approx(cold.ranked.scores, abs=1e-5)

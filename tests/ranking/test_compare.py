@@ -1,0 +1,88 @@
+"""Unit tests for ranking deltas."""
+
+import pytest
+
+from repro.ranking import ranking_delta
+
+
+class TestRankingDelta:
+    def test_identical_rankings_all_same(self):
+        delta = ranking_delta(["a", "b"], ["a", "b"])
+        assert delta.stable_fraction == 1.0
+        assert delta.summary() == "up: 0, down: 0, entered: 0, dropped: 0, same: 2"
+
+    def test_swap_detected(self):
+        delta = ranking_delta(["a", "b"], ["b", "a"])
+        up = delta.of_kind("up")
+        down = delta.of_kind("down")
+        assert [c.node_id for c in up] == ["b"]
+        assert [c.node_id for c in down] == ["a"]
+
+    def test_enter_and_drop(self):
+        delta = ranking_delta(["a", "b"], ["a", "c"])
+        assert [c.node_id for c in delta.of_kind("entered")] == ["c"]
+        assert [c.node_id for c in delta.of_kind("dropped")] == ["b"]
+
+    def test_window_limits_comparison(self):
+        before = ["a", "b", "c", "d"]
+        after = ["a", "b", "d", "c"]
+        delta = ranking_delta(before, after, window=2)
+        assert delta.stable_fraction == 1.0  # c/d swap is outside the window
+
+    def test_risers_sorted_by_jump(self):
+        before = ["a", "b", "c", "d"]
+        after = ["d", "c", "a", "b"]
+        delta = ranking_delta(before, after)
+        risers = [c.node_id for c in delta.of_kind("up")]
+        assert risers[0] == "d"  # jumped 3 places, listed first
+
+    def test_empty_rankings(self):
+        delta = ranking_delta([], [])
+        assert delta.changes == ()
+        assert delta.stable_fraction == 1.0
+
+    def test_kind_ordering_in_changes(self):
+        delta = ranking_delta(["a", "b", "c"], ["b", "a", "d"])
+        kinds = [c.kind for c in delta.changes]
+        assert kinds == ["up", "entered", "down", "dropped"]
+
+    def test_real_reformulation_delta(self, figure1):
+        from repro.core import ObjectRankSystem, SystemConfig
+
+        system = ObjectRankSystem(
+            figure1.data_graph, figure1.transfer_schema,
+            SystemConfig(top_k=7, radius=None),
+        )
+        before = system.query("OLAP").ranked.ranking()
+        outcome = system.feedback(["v4"])
+        after = outcome.result.ranked.ranking()
+        delta = ranking_delta(before, after, window=7)
+        # the feedback object or its neighborhood must move somewhere
+        assert delta.summary()
+        assert len(delta.changes) == 7
+
+
+class TestMetricsOnDeltas:
+    def test_kendall_tau_bounds(self):
+        from repro.feedback import kendall_tau
+
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+        assert kendall_tau(["a"], ["a"]) == 0.0  # under two common items
+
+    def test_kendall_ignores_missing(self):
+        from repro.feedback import kendall_tau
+
+        assert kendall_tau(["a", "x", "b"], ["a", "b", "y"]) == 1.0
+
+    def test_footrule_bounds(self):
+        from repro.feedback import spearman_footrule
+
+        assert spearman_footrule(["a", "b"], ["a", "b"]) == 0.0
+        assert spearman_footrule(["a", "b"], ["b", "a"]) == pytest.approx(1.0)
+
+    def test_footrule_partial_displacement(self):
+        from repro.feedback import spearman_footrule
+
+        value = spearman_footrule(["a", "b", "c"], ["a", "c", "b"])
+        assert 0.0 < value < 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for query-focused subgraph execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyBaseSetError
+from repro.query import KeywordQuery, QueryVector
+from repro.ranking import focused_neighborhood, focused_objectrank2, objectrank2
+
+
+class TestNeighborhood:
+    def test_horizon_zero_is_seeds(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        assert focused_neighborhood(figure1_graph, seeds, 0) == seeds
+
+    def test_expansion_is_monotone(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        previous: set[int] = set()
+        for horizon in range(4):
+            nodes = set(focused_neighborhood(figure1_graph, seeds, horizon))
+            assert previous <= nodes
+            previous = nodes
+
+    def test_covers_whole_component_at_large_horizon(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        nodes = focused_neighborhood(figure1_graph, seeds, 10)
+        # everything is connected through positive-rate edges except none
+        assert len(nodes) == figure1_graph.num_nodes
+
+
+class TestFocusedObjectRank2:
+    def test_large_horizon_matches_exact(self, figure1_graph, figure1_scorer):
+        vector = KeywordQuery(["olap"]).vector()
+        exact = objectrank2(figure1_graph, figure1_scorer, vector, tolerance=1e-10)
+        focused = focused_objectrank2(
+            figure1_graph, figure1_scorer, vector, horizon=10, tolerance=1e-10
+        )
+        assert focused.ranked.scores == pytest.approx(exact.scores, abs=1e-8)
+        assert focused.coverage == 1.0
+
+    def test_small_horizon_zeroes_outside(self, figure1_graph, figure1_scorer):
+        vector = KeywordQuery(["multidimensional"]).vector()  # base = v5 only
+        focused = focused_objectrank2(
+            figure1_graph, figure1_scorer, vector, horizon=1
+        )
+        inside = set(
+            focused_neighborhood(
+                figure1_graph, [figure1_graph.index_of("v5")], 1
+            )
+        )
+        for index in range(figure1_graph.num_nodes):
+            if index not in inside:
+                assert focused.ranked.scores[index] == 0.0
+
+    def test_top_result_stable_at_moderate_horizon(
+        self, figure1_graph, figure1_scorer
+    ):
+        vector = KeywordQuery(["olap"]).vector()
+        exact = objectrank2(figure1_graph, figure1_scorer, vector, tolerance=1e-10)
+        focused = focused_objectrank2(
+            figure1_graph, figure1_scorer, vector, horizon=2, tolerance=1e-10
+        )
+        assert focused.ranked.top_k(1)[0][0] == exact.top_k(1)[0][0]
+
+    def test_subgraph_accounting(self, figure1_graph, figure1_scorer):
+        focused = focused_objectrank2(
+            figure1_graph, figure1_scorer, KeywordQuery(["olap"]).vector(), horizon=1
+        )
+        assert 0 < focused.subgraph_nodes <= figure1_graph.num_nodes
+        assert focused.subgraph_edges > 0
+        assert 0 < focused.coverage <= 1.0
+
+    def test_empty_base_set_raises(self, figure1_graph, figure1_scorer):
+        with pytest.raises(EmptyBaseSetError):
+            focused_objectrank2(
+                figure1_graph, figure1_scorer, QueryVector({"zzz": 1.0})
+            )
+
+    def test_negative_horizon_rejected(self, figure1_graph, figure1_scorer):
+        with pytest.raises(ValueError):
+            focused_objectrank2(
+                figure1_graph, figure1_scorer, KeywordQuery(["olap"]).vector(),
+                horizon=-1,
+            )
+
+    def test_quality_on_synthetic_dblp(self, dblp_tiny, dblp_tiny_engine):
+        """Focused execution approximates the exact top-10 well at L=3."""
+        vector = KeywordQuery(["olap"]).vector()
+        engine = dblp_tiny_engine
+        exact = objectrank2(engine.graph, engine.scorer, vector)
+        focused = focused_objectrank2(engine.graph, engine.scorer, vector, horizon=3)
+        exact_top = {nid for nid, _ in exact.top_k(10)}
+        focused_top = {nid for nid, _ in focused.ranked.top_k(10)}
+        assert len(exact_top & focused_top) >= 7

@@ -1,0 +1,48 @@
+"""Unit tests for the HITS baseline."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ranking import hits
+
+
+def adjacency(edges, n):
+    rows = [u for u, _ in edges]
+    cols = [v for _, v in edges]
+    return sparse.csr_matrix(
+        (np.ones(len(edges)), (rows, cols)), shape=(n, n)
+    ).T.T  # keep csr
+
+
+class TestHits:
+    def test_authority_goes_to_pointed_node(self):
+        # 1, 2, 3 all point to 0.
+        matrix = adjacency([(1, 0), (2, 0), (3, 0)], 4)
+        result = hits(matrix, tolerance=1e-12)
+        assert result.converged
+        assert result.authorities[0] == result.authorities.max()
+        assert result.hubs[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_hub_is_the_pointer(self):
+        # 0 points to 1, 2, 3.
+        matrix = adjacency([(0, 1), (0, 2), (0, 3)], 4)
+        result = hits(matrix, tolerance=1e-12)
+        assert result.hubs[0] == result.hubs.max()
+
+    def test_vectors_l1_normalized(self):
+        matrix = adjacency([(0, 1), (1, 2), (2, 0)], 3)
+        result = hits(matrix, tolerance=1e-12)
+        assert result.authorities.sum() == pytest.approx(1.0)
+        assert result.hubs.sum() == pytest.approx(1.0)
+
+    def test_iteration_cap(self):
+        matrix = adjacency([(0, 1), (1, 0)], 2)
+        result = hits(matrix, tolerance=0.0, max_iterations=4)
+        assert result.iterations == 4
+        assert not result.converged
+
+    def test_symmetric_cycle_uniform(self):
+        matrix = adjacency([(0, 1), (1, 2), (2, 0)], 3)
+        result = hits(matrix, tolerance=1e-12)
+        assert result.authorities == pytest.approx(np.full(3, 1 / 3), abs=1e-8)

@@ -1,0 +1,43 @@
+"""Unit tests for the pure-IR baseline (the paper's motivating contrast)."""
+
+import pytest
+
+from repro.errors import EmptyBaseSetError
+from repro.query import KeywordQuery, QueryVector
+from repro.ranking import ir_only_rank, objectrank2
+
+
+class TestIrOnly:
+    def test_nodes_without_keyword_score_zero(self, figure1_graph, figure1_scorer):
+        result = ir_only_rank(
+            figure1_graph, figure1_scorer, KeywordQuery(["olap"]).vector()
+        )
+        v7 = figure1_graph.index_of("v7")
+        assert result.scores[v7] == 0.0
+
+    def test_motivating_contrast_with_objectrank2(
+        self, figure1_graph, figure1_scorer
+    ):
+        """Traditional IR misses 'Data Cube' for 'OLAP'; ObjectRank2 crowns it."""
+        vector = KeywordQuery(["olap"]).vector()
+        ir = ir_only_rank(figure1_graph, figure1_scorer, vector)
+        flow = objectrank2(figure1_graph, figure1_scorer, vector, tolerance=1e-8)
+        assert "v7" not in {nid for nid, s in ir.top_k(7) if s > 0}
+        assert flow.top_k(1)[0][0] == "v7"
+
+    def test_ranking_follows_ir_scores(self, figure1_graph, figure1_scorer):
+        vector = KeywordQuery(["olap", "cubes"]).vector()
+        result = ir_only_rank(figure1_graph, figure1_scorer, vector)
+        # v4 mentions both query terms; v1 only one.
+        assert result.score_of("v4") > result.score_of("v1")
+
+    def test_no_iterations(self, figure1_graph, figure1_scorer):
+        result = ir_only_rank(
+            figure1_graph, figure1_scorer, KeywordQuery(["olap"]).vector()
+        )
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_empty_base_set_raises(self, figure1_graph, figure1_scorer):
+        with pytest.raises(EmptyBaseSetError):
+            ir_only_rank(figure1_graph, figure1_scorer, QueryVector({"zzz": 1.0}))

@@ -1,0 +1,106 @@
+"""Unit tests for the power-iteration core and PageRank variants."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ranking import pagerank, personalized_pagerank, power_iteration
+
+
+def cycle_matrix(n: int) -> sparse.csr_matrix:
+    """A directed n-cycle, column-stochastic (each node sends all to next)."""
+    rows = [(i + 1) % n for i in range(n)]
+    cols = list(range(n))
+    return sparse.csr_matrix((np.ones(n), (rows, cols)), shape=(n, n))
+
+
+class TestPowerIteration:
+    def test_uniform_on_symmetric_cycle(self):
+        matrix = cycle_matrix(4)
+        restart = np.full(4, 0.25)
+        result = power_iteration(matrix, restart, tolerance=1e-12)
+        assert result.converged
+        assert result.scores == pytest.approx(np.full(4, 0.25), abs=1e-6)
+
+    def test_fixpoint_property(self):
+        """Converged scores satisfy r = d A r + (1-d) s."""
+        matrix = cycle_matrix(5)
+        restart = np.zeros(5)
+        restart[0] = 1.0
+        result = power_iteration(matrix, restart, damping=0.85, tolerance=1e-12)
+        reconstructed = 0.85 * (matrix @ result.scores) + 0.15 * restart
+        assert result.scores == pytest.approx(reconstructed, abs=1e-9)
+
+    def test_iteration_count_and_residuals(self):
+        matrix = cycle_matrix(5)
+        restart = np.full(5, 0.2)
+        result = power_iteration(matrix, restart, tolerance=1e-10)
+        assert result.iterations == len(result.residuals)
+        assert result.residuals[-1] < 1e-10
+        # residuals shrink overall
+        assert result.residuals[-1] <= result.residuals[0]
+
+    def test_max_iterations_cap(self):
+        matrix = cycle_matrix(50)
+        restart = np.zeros(50)
+        restart[0] = 1.0
+        result = power_iteration(matrix, restart, tolerance=0.0, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_warm_start_reduces_iterations(self):
+        matrix = cycle_matrix(30)
+        restart = np.zeros(30)
+        restart[0] = 1.0
+        cold = power_iteration(matrix, restart, tolerance=1e-10)
+        warm = power_iteration(matrix, restart, tolerance=1e-10, init=cold.scores)
+        assert warm.iterations < cold.iterations
+        assert warm.scores == pytest.approx(cold.scores, abs=1e-8)
+
+    def test_invalid_damping(self):
+        matrix = cycle_matrix(3)
+        restart = np.full(3, 1 / 3)
+        for damping in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                power_iteration(matrix, restart, damping=damping)
+
+    def test_restart_shape_checked(self):
+        with pytest.raises(ValueError):
+            power_iteration(cycle_matrix(3), np.zeros(4))
+
+
+class TestPageRank:
+    def test_sink_free_cycle_is_uniform(self):
+        result = pagerank(cycle_matrix(6), tolerance=1e-12)
+        assert result.scores == pytest.approx(np.full(6, 1 / 6), abs=1e-8)
+
+    def test_hub_attracts_authority(self):
+        """Star graph: all leaves point to node 0, which gets the most."""
+        n = 6
+        rows = [0] * (n - 1)
+        cols = list(range(1, n))
+        matrix = sparse.csr_matrix((np.ones(n - 1), (rows, cols)), shape=(n, n))
+        result = pagerank(matrix, tolerance=1e-12)
+        assert result.scores[0] == result.scores.max()
+
+
+class TestPersonalized:
+    def test_restart_mass_concentrates_near_seeds(self):
+        matrix = cycle_matrix(10)
+        result = personalized_pagerank(matrix, np.asarray([0]), tolerance=1e-12)
+        assert result.scores[0] == result.scores.max()
+
+    def test_weights_normalized(self):
+        matrix = cycle_matrix(4)
+        uniform = personalized_pagerank(
+            matrix, np.asarray([0, 1]), np.asarray([5.0, 5.0]), tolerance=1e-12
+        )
+        explicit = personalized_pagerank(
+            matrix, np.asarray([0, 1]), np.asarray([0.5, 0.5]), tolerance=1e-12
+        )
+        assert uniform.scores == pytest.approx(explicit.scores)
+
+    def test_empty_restart_rejected(self):
+        matrix = cycle_matrix(4)
+        with pytest.raises(ValueError):
+            personalized_pagerank(matrix, np.asarray([0]), np.asarray([0.0]))

@@ -1,0 +1,81 @@
+"""Unit tests for precomputed per-keyword rankings (the [BHP04] mode)."""
+
+import pytest
+
+from repro.datasets import dblp_transfer_schema
+from repro.errors import EmptyBaseSetError
+from repro.query import QueryVector
+from repro.ranking import PrecomputedRanker, keyword_objectrank
+
+
+@pytest.fixture
+def ranker(figure1_graph, figure1_index):
+    return PrecomputedRanker(
+        figure1_graph, figure1_index, min_document_frequency=1, tolerance=1e-10
+    )
+
+
+class TestPrecomputation:
+    def test_vocabulary_covered(self, ranker, figure1_index):
+        assert set(ranker.keywords) == set(figure1_index.vocabulary())
+
+    def test_min_document_frequency_filter(self, figure1_graph, figure1_index):
+        filtered = PrecomputedRanker(
+            figure1_graph, figure1_index, min_document_frequency=2
+        )
+        for keyword in filtered.keywords:
+            assert figure1_index.document_frequency(keyword) >= 2
+
+    def test_explicit_keyword_list(self, figure1_graph, figure1_index):
+        ranker = PrecomputedRanker(figure1_graph, figure1_index, keywords=["olap"])
+        assert ranker.keywords == ["olap"]
+        assert not ranker.has_keyword("xml-ish-unknown")
+
+    def test_unmatched_keywords_skipped(self, figure1_graph, figure1_index):
+        ranker = PrecomputedRanker(
+            figure1_graph, figure1_index, keywords=["olap", "notaword"]
+        )
+        assert ranker.keywords == ["olap"]
+
+
+class TestQueryAnswering:
+    def test_single_keyword_matches_exact_objectrank(
+        self, ranker, figure1_graph, figure1_index
+    ):
+        """One cached keyword = the exact per-keyword ObjectRank vector."""
+        cached = ranker.rank(QueryVector({"olap": 1.0}))
+        exact = keyword_objectrank(
+            figure1_graph, figure1_index, "olap", tolerance=1e-10
+        )
+        assert cached.scores == pytest.approx(exact.scores, abs=1e-8)
+        assert cached.iterations == 0  # no query-time power iteration
+
+    def test_data_cube_still_wins(self, ranker):
+        result = ranker.rank(QueryVector({"olap": 1.0}))
+        assert result.top_k(1)[0][0] == "v7"
+
+    def test_blending_weights_respect_query_vector(self, ranker, figure1_graph):
+        plain = ranker.rank(QueryVector({"olap": 1.0, "multidimensional": 1.0}))
+        boosted = ranker.rank(QueryVector({"olap": 1.0, "multidimensional": 50.0}))
+        v5 = figure1_graph.index_of("v5")
+        assert boosted.scores[v5] > plain.scores[v5]
+
+    def test_unknown_query_raises(self, ranker):
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"notaword": 1.0}))
+
+    def test_zero_weight_terms_ignored(self, ranker):
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"olap": 0.0}))
+
+
+class TestStaleness:
+    def test_fresh_cache_not_stale(self, ranker):
+        assert not ranker.is_stale()
+
+    def test_rate_change_detected(self, ranker):
+        learned = dblp_transfer_schema([0.5, 0.0, 0.3, 0.1, 0.2, 0.2, 0.2, 0.1])
+        assert ranker.is_stale(learned)
+
+    def test_equal_rates_not_stale(self, ranker):
+        assert not ranker.is_stale(dblp_transfer_schema())

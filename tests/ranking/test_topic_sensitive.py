@@ -1,0 +1,46 @@
+"""Unit tests for the topic-sensitive PageRank baseline [Hav02]."""
+
+import pytest
+
+from repro.ranking import TopicSensitiveRanker
+
+
+@pytest.fixture
+def ranker(figure1_graph):
+    ranker = TopicSensitiveRanker(figure1_graph, tolerance=1e-10)
+    ranker.add_topic("olap", ["v1", "v4"])
+    ranker.add_topic("modeling", ["v5"])
+    return ranker
+
+
+class TestTopicSensitive:
+    def test_topics_registered(self, ranker):
+        assert ranker.topics == ["olap", "modeling"]
+
+    def test_empty_seed_rejected(self, figure1_graph):
+        ranker = TopicSensitiveRanker(figure1_graph)
+        with pytest.raises(ValueError):
+            ranker.add_topic("empty", [])
+
+    def test_single_topic_matches_objectrank_shape(self, ranker):
+        """The olap topic vector should crown v7, like query-time ObjectRank."""
+        top = ranker.top_k({"olap": 1.0}, 1)
+        assert top[0][0] == "v7"
+
+    def test_blending_is_convex(self, ranker):
+        olap = ranker.rank({"olap": 1.0})
+        modeling = ranker.rank({"modeling": 1.0})
+        blended = ranker.rank({"olap": 1.0, "modeling": 1.0})
+        assert blended == pytest.approx(0.5 * olap + 0.5 * modeling)
+
+    def test_unknown_topic_ignored_if_others_known(self, ranker):
+        known_only = ranker.rank({"olap": 1.0, "nope": 3.0})
+        assert known_only == pytest.approx(ranker.rank({"olap": 1.0}))
+
+    def test_all_unknown_raises(self, ranker):
+        with pytest.raises(ValueError):
+            ranker.rank({"nope": 1.0})
+
+    def test_zero_weights_raise(self, ranker):
+        with pytest.raises(ValueError):
+            ranker.rank({"olap": 0.0})

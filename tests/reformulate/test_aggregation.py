@@ -1,0 +1,50 @@
+"""Unit tests for multi-object aggregation functions (Section 5.3)."""
+
+import pytest
+
+from repro.reformulate import AGGREGATORS, aggregate_maps
+from repro.reformulate.content import ContentReformulator
+from repro.reformulate.structure import StructureReformulator
+
+
+class TestAggregateMaps:
+    def test_sum(self):
+        result = aggregate_maps([{"a": 1.0, "b": 2.0}, {"a": 3.0}], "sum")
+        assert result == {"a": 4.0, "b": 2.0}
+
+    def test_min_ignores_absent_keys(self):
+        result = aggregate_maps([{"a": 1.0}, {"a": 2.0, "b": 3.0}], "min")
+        assert result == {"a": 1.0, "b": 3.0}
+
+    def test_max(self):
+        result = aggregate_maps([{"a": 1.0}, {"a": 5.0}], "max")
+        assert result == {"a": 5.0}
+
+    def test_avg(self):
+        result = aggregate_maps([{"a": 1.0}, {"a": 3.0}], "avg")
+        assert result == {"a": 2.0}
+
+    def test_empty_input(self):
+        assert aggregate_maps([], "sum") == {}
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ValueError):
+            aggregate_maps([{"a": 1.0}], "median")
+
+    def test_all_aggregators_registered(self):
+        assert set(AGGREGATORS) == {"sum", "min", "max", "avg"}
+
+    def test_single_map_identity_for_all(self):
+        mapping = {"a": 1.5, "b": 0.5}
+        for how in AGGREGATORS:
+            assert aggregate_maps([mapping], how) == mapping
+
+
+class TestReformulatorValidation:
+    def test_content_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            ContentReformulator(aggregation="median")
+
+    def test_structure_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            StructureReformulator(aggregation="median")

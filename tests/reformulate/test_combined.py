@@ -1,0 +1,82 @@
+"""Unit tests for the combined reformulator (Sections 5.1-5.3)."""
+
+import pytest
+
+from repro.explain import adjust_flows, build_explaining_subgraph
+from repro.query import QueryVector
+from repro.reformulate import Reformulator
+
+
+@pytest.fixture
+def explanation(figure1_graph, olap_result):
+    base = list(olap_result.base_weights)
+    subgraph = build_explaining_subgraph(figure1_graph, base, "v4", radius=None)
+    return adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+
+
+@pytest.fixture
+def vector():
+    return QueryVector({"olap": 1.0})
+
+
+class TestSettings:
+    def test_with_factors(self):
+        reformulator = Reformulator.with_factors(0.2, 0.5, decay=0.4, num_terms=7)
+        assert reformulator.content.expansion_factor == 0.2
+        assert reformulator.structure.adjustment_factor == 0.5
+        assert reformulator.content.decay == 0.4
+        assert reformulator.content.num_terms == 7
+
+    def test_uses_flags(self):
+        assert Reformulator.with_factors(0.2, 0.0).uses_content
+        assert not Reformulator.with_factors(0.2, 0.0).uses_structure
+        assert Reformulator.with_factors(0.0, 0.5).uses_structure
+        assert not Reformulator.with_factors(0.0, 0.5).uses_content
+
+
+class TestModes:
+    def test_content_only_keeps_rates(self, explanation, vector, figure1):
+        outcome = Reformulator.with_factors(0.2, 0.0).reformulate(
+            vector, figure1.transfer_schema, [explanation]
+        )
+        assert outcome.transfer_schema == figure1.transfer_schema
+        assert len(outcome.query_vector) > 1
+
+    def test_structure_only_keeps_vector(self, explanation, vector, figure1):
+        outcome = Reformulator.with_factors(0.0, 0.5).reformulate(
+            vector, figure1.transfer_schema, [explanation]
+        )
+        assert outcome.query_vector == vector
+        assert outcome.transfer_schema != figure1.transfer_schema
+
+    def test_combined_changes_both(self, explanation, vector, figure1):
+        outcome = Reformulator.with_factors(0.2, 0.5).reformulate(
+            vector, figure1.transfer_schema, [explanation]
+        )
+        assert outcome.query_vector != vector
+        assert outcome.transfer_schema != figure1.transfer_schema
+
+    def test_no_feedback_is_identity(self, vector, figure1):
+        outcome = Reformulator.with_factors(0.2, 0.5).reformulate(
+            vector, figure1.transfer_schema, []
+        )
+        assert outcome.query_vector == vector
+        assert outcome.transfer_schema == figure1.transfer_schema
+
+
+class TestMultipleFeedbackObjects:
+    def test_two_objects_aggregate(self, figure1_graph, olap_result, vector, figure1):
+        base = list(olap_result.base_weights)
+        explanations = []
+        for target in ("v4", "v7"):
+            subgraph = build_explaining_subgraph(figure1_graph, base, target, radius=None)
+            explanations.append(
+                adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+            )
+        outcome = Reformulator.with_factors(0.5, 0.5).reformulate(
+            vector, figure1.transfer_schema, explanations
+        )
+        # v7's explanation brings cites-flow: PP must now be boosted.
+        order = figure1.transfer_schema.edge_types()
+        assert outcome.transfer_schema.is_convergent()
+        assert len(outcome.query_vector) > 1

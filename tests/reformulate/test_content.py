@@ -1,0 +1,113 @@
+"""Unit tests for content-based reformulation (Section 5.1, Eq. 11-12)."""
+
+import pytest
+
+from repro.explain import adjust_flows, build_explaining_subgraph
+from repro.query import QueryVector
+from repro.reformulate import ContentReformulator
+
+
+@pytest.fixture
+def explanation(figure1_graph, olap_result):
+    base = list(olap_result.base_weights)
+    subgraph = build_explaining_subgraph(figure1_graph, base, "v4", radius=None)
+    return adjust_flows(subgraph, olap_result.scores, 0.85, tolerance=1e-10)
+
+
+@pytest.fixture
+def reformulator():
+    return ContentReformulator(decay=0.5, expansion_factor=0.5, num_terms=5)
+
+
+class TestTermWeights:
+    def test_feedback_object_terms_dominate(self, reformulator, explanation):
+        """Example 2's intuition: terms of the feedback object and of the
+        nodes feeding it authority directly (here the shared author
+        'agrawal', which appears in both v4 and v6) dominate terms of
+        distant nodes."""
+        weights = reformulator.term_weights(explanation)
+        near_terms = {"olap", "cubes", "range", "queries", "data", "agrawal"}
+        strongest = max(weights, key=weights.get)
+        assert strongest in near_terms
+        # Every target-object topic term outweighs every distance-4 term.
+        assert weights["cubes"] > weights["selection"]
+        assert weights["range"] > weights["index"]
+
+    def test_distant_terms_decayed(self, reformulator, explanation):
+        """'multidimensional' (v5, distance 2) outweighs nothing from the
+        target, and 'index'/'selection' (v1, distance 4) weigh even less."""
+        weights = reformulator.term_weights(explanation)
+        assert weights["multidimensional"] > weights["selection"]
+
+    def test_stopwords_excluded(self, reformulator, explanation):
+        weights = reformulator.term_weights(explanation)
+        assert "in" not in weights
+        assert "for" not in weights
+
+    def test_decay_one_removes_distance_effect(self, explanation, figure1_graph):
+        flat = ContentReformulator(decay=1.0, expansion_factor=0.5)
+        weights = flat.term_weights(explanation)
+        # v5's outgoing flow contributes at full weight now.
+        v5_outflow = explanation.outgoing_flow(figure1_graph.index_of("v5"))
+        assert weights["multidimensional"] == pytest.approx(v5_outflow)
+
+    def test_aggregation_sums_across_objects(self, reformulator, explanation):
+        single = reformulator.term_weights(explanation)
+        double = reformulator.aggregate_term_weights([explanation, explanation])
+        for term, weight in single.items():
+            assert double[term] == pytest.approx(2 * weight)
+
+
+class TestExpansion:
+    def test_top_z_terms_selected(self, reformulator, explanation):
+        terms = reformulator.expansion_terms(QueryVector({"olap": 1.0}), [explanation])
+        assert len(terms) <= 5
+
+    def test_normalization_max_equals_average_query_weight(
+        self, reformulator, explanation
+    ):
+        """Section 5.1: the strongest expansion term is scaled to a_q."""
+        vector = QueryVector({"olap": 2.0, "cube": 4.0})  # a_q = 3
+        terms = reformulator.expansion_terms(vector, [explanation])
+        assert max(w for _, w in terms) == pytest.approx(3.0)
+
+    def test_reformulate_applies_expansion_factor(self, reformulator, explanation):
+        vector = QueryVector({"olap": 1.0})
+        new_vector = reformulator.reformulate(vector, [explanation])
+        terms = reformulator.expansion_terms(vector, [explanation])
+        expected = dict(vector.weights)
+        for term, weight in terms:
+            expected[term] = expected.get(term, 0.0) + 0.5 * weight
+        assert new_vector.weights == pytest.approx(expected)
+
+    def test_original_terms_kept(self, reformulator, explanation):
+        new_vector = reformulator.reformulate(QueryVector({"olap": 1.0}), [explanation])
+        assert new_vector.weight("olap") >= 1.0
+
+    def test_no_explanations_returns_copy(self, reformulator):
+        vector = QueryVector({"olap": 1.0})
+        result = reformulator.reformulate(vector, [])
+        assert result == vector
+        assert result is not vector
+
+    def test_empty_explanation_no_expansion(
+        self, reformulator, figure1_graph, olap_result
+    ):
+        subgraph = build_explaining_subgraph(figure1_graph, ["v7"], "v2", radius=1)
+        empty = adjust_flows(subgraph, olap_result.scores, 0.85)
+        result = reformulator.reformulate(QueryVector({"olap": 1.0}), [empty])
+        assert result.weights == {"olap": 1.0}
+
+
+class TestValidation:
+    def test_decay_bounds(self):
+        with pytest.raises(ValueError):
+            ContentReformulator(decay=0.0)
+        with pytest.raises(ValueError):
+            ContentReformulator(decay=1.5)
+
+    def test_expansion_factor_bounds(self):
+        with pytest.raises(ValueError):
+            ContentReformulator(expansion_factor=-0.1)
+        with pytest.raises(ValueError):
+            ContentReformulator(expansion_factor=1.1)

@@ -1,0 +1,81 @@
+"""Unit tests for keyword proximity search (the DISCOVER-style baseline)."""
+
+import pytest
+
+from repro.errors import EmptyBaseSetError
+from repro.ir import InvertedIndex
+from repro.search import ProximitySearcher
+
+
+@pytest.fixture
+def searcher(figure1):
+    index = InvertedIndex.from_graph(figure1.data_graph)
+    return ProximitySearcher(figure1.data_graph, index)
+
+
+class TestSingleKeyword:
+    def test_hits_become_size_zero_trees(self, searcher):
+        answers = searcher.search(("olap",))
+        assert {a.root for a in answers} == {"v1", "v4"}
+        assert all(a.size == 0 for a in answers)
+
+
+class TestMultiKeyword:
+    def test_finds_connecting_tree(self, searcher):
+        # "index" is only in v1's title, "multidimensional" only in v5's.
+        answers = searcher.search(("index", "multidimensional"))
+        assert answers
+        best = answers[0]
+        tree_nodes = set(best.nodes)
+        assert "v1" in tree_nodes and "v5" in tree_nodes
+
+    def test_smaller_trees_rank_first(self, searcher):
+        answers = searcher.search(("olap", "cubes"), top_k=5)
+        sizes = [a.size for a in answers]
+        assert sizes == sorted(sizes)
+        # v4's title holds both keywords: a size-0 tree must win.
+        assert answers[0].size == 0
+        assert answers[0].root == "v4"
+
+    def test_edges_form_connected_tree(self, searcher):
+        answers = searcher.search(("index", "multidimensional"))
+        for answer in answers:
+            if answer.size == 0:
+                continue
+            # every edge endpoint is a tree node
+            for source, target in answer.edges:
+                assert source in answer.nodes
+                assert target in answer.nodes
+            # connectivity: union-find over the edges reaches all nodes
+            parent = {n: n for n in answer.nodes}
+
+            def find(x):
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for a, b in answer.edges:
+                parent[find(a)] = find(b)
+            roots = {find(n) for n in answer.nodes}
+            assert len(roots) == 1
+
+    def test_unmatched_keyword_raises(self, searcher):
+        with pytest.raises(EmptyBaseSetError):
+            searcher.search(("olap", "zzznothing"))
+
+    def test_max_radius_bounds_search(self, searcher):
+        narrow = searcher.search(("index", "multidimensional"), max_radius=0)
+        assert narrow == []  # no common node at radius 0
+
+    def test_top_k_truncates(self, searcher):
+        answers = searcher.search(("olap", "1997"), top_k=1)
+        assert len(answers) == 1
+
+
+class TestContrastWithAuthorityFlow:
+    def test_proximity_ignores_authority(self, searcher, figure1):
+        """The paradigm contrast: proximity never surfaces v7 for 'olap'
+        (it does not contain the keyword), while ObjectRank2 crowns it."""
+        answers = searcher.search(("olap",))
+        assert "v7" not in {a.root for a in answers}

@@ -1,0 +1,113 @@
+"""Unit tests for relational-to-graph shredding."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    Database,
+    EdgeFromForeignKey,
+    EdgeTable,
+    ForeignKey,
+    NodeTable,
+    ShredSpec,
+    TableSchema,
+    node_id,
+    shred_to_graph,
+)
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.create_table(TableSchema("venue", ("id", "name")))
+    db.create_table(
+        TableSchema(
+            "paper",
+            ("id", "title", "venue_id"),
+            foreign_keys=(ForeignKey("venue_id", "venue"),),
+        )
+    )
+    db.create_table(TableSchema("author", ("id", "name")))
+    db.create_table(
+        TableSchema(
+            "paper_author",
+            ("id", "paper_id", "author_id"),
+            foreign_keys=(ForeignKey("paper_id", "paper"), ForeignKey("author_id", "author")),
+        )
+    )
+    db.insert("venue", {"id": 10, "name": "ICDE"})
+    db.insert("paper", {"id": 1, "title": "Data Cube", "venue_id": 10})
+    db.insert("paper", {"id": 2, "title": "Index Selection", "venue_id": None})
+    db.insert("author", {"id": 5, "name": "J. Gray"})
+    db.insert("paper_author", {"id": 0, "paper_id": 1, "author_id": 5})
+    return db
+
+
+@pytest.fixture
+def spec():
+    return ShredSpec(
+        node_tables=(
+            NodeTable("venue", "Venue", ("name",)),
+            NodeTable("paper", "Paper", ("title",)),
+            NodeTable("author", "Author", ("name",)),
+        ),
+        fk_edges=(EdgeFromForeignKey("paper", "venue_id", "published_at"),),
+        edge_tables=(
+            EdgeTable("paper_author", "paper_id", "author_id", "paper", "author", "by"),
+        ),
+    )
+
+
+class TestShredding:
+    def test_node_ids_and_labels(self, database, spec):
+        graph = shred_to_graph(database, spec)
+        assert graph.node(node_id("paper", 1)).label == "Paper"
+        assert graph.node("venue:10").attributes == {"name": "ICDE"}
+
+    def test_fk_edge_direction_default(self, database, spec):
+        graph = shred_to_graph(database, spec)
+        edges = graph.out_edges("paper:1")
+        assert ("venue:10", "published_at") in {(e.target, e.role) for e in edges}
+
+    def test_fk_edge_reverse(self, database):
+        spec = ShredSpec(
+            node_tables=(
+                NodeTable("venue", "Venue", ("name",)),
+                NodeTable("paper", "Paper", ("title",)),
+                NodeTable("author", "Author", ("name",)),
+            ),
+            fk_edges=(
+                EdgeFromForeignKey("paper", "venue_id", "publishes", reverse=True),
+            ),
+        )
+        graph = shred_to_graph(database, spec)
+        assert [(e.target, e.role) for e in graph.out_edges("venue:10")] == [
+            ("paper:1", "publishes")
+        ]
+
+    def test_null_fk_produces_no_edge(self, database, spec):
+        graph = shred_to_graph(database, spec)
+        assert graph.out_degree("paper:2") == 0
+
+    def test_link_table_edges(self, database, spec):
+        graph = shred_to_graph(database, spec)
+        assert [(e.target, e.role) for e in graph.out_edges("paper:1")
+                if e.role == "by"] == [("author:5", "by")]
+
+    def test_attribute_selection(self, database):
+        spec = ShredSpec(node_tables=(NodeTable("paper", "Paper", ()),))
+        graph = shred_to_graph(database, spec)
+        assert graph.node("paper:1").attributes == {}
+
+    def test_undeclared_fk_rejected(self, database):
+        spec = ShredSpec(
+            node_tables=(NodeTable("paper", "Paper", ("title",)),),
+            fk_edges=(EdgeFromForeignKey("paper", "title", "bogus"),),
+        )
+        with pytest.raises(StorageError):
+            shred_to_graph(database, spec)
+
+    def test_counts(self, database, spec):
+        graph = shred_to_graph(database, spec)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 2

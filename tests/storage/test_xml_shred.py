@@ -1,0 +1,122 @@
+"""Unit tests for XML shredding (the framework's XML half)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.xml_shred import shred_xml, xml_transfer_schema
+
+PROCEEDINGS = """
+<proceedings>
+  <conference name="ICDE">
+    <paper id="p1"><title>Index Selection for OLAP</title></paper>
+    <paper id="p2"><title>Range Queries in OLAP Data Cubes</title>
+      <cite idref="p1"/>
+    </paper>
+  </conference>
+  <author idrefs="p1 p2"><name>R. Agrawal</name></author>
+</proceedings>
+"""
+
+
+@pytest.fixture
+def shredded():
+    return shred_xml(PROCEEDINGS)
+
+
+class TestShredding:
+    def test_elements_become_labeled_nodes(self, shredded):
+        counts = shredded.data_graph.label_counts()
+        assert counts["Paper"] == 2
+        assert counts["Title"] == 2
+        assert counts["Conference"] == 1
+        assert shredded.root_id == "proceedings:0"
+
+    def test_attributes_and_text_captured(self, shredded):
+        conference = shredded.data_graph.node("conference:0")
+        assert conference.attributes["name"] == "ICDE"
+        title = shredded.data_graph.node("title:0")
+        assert "OLAP" in title.attributes["text"]
+
+    def test_containment_edges(self, shredded):
+        edges = shredded.data_graph.out_edges("conference:0")
+        assert {(e.target, e.role) for e in edges} == {
+            ("paper:0", "contains"),
+            ("paper:1", "contains"),
+        }
+
+    def test_idref_becomes_reference_edge(self, shredded):
+        cite_edges = [
+            e for e in shredded.data_graph.edges() if e.role == "references"
+        ]
+        assert ("cite:0", "paper:0") in {(e.source, e.target) for e in cite_edges}
+
+    def test_idrefs_fan_out(self, shredded):
+        author_refs = [
+            e.target
+            for e in shredded.data_graph.out_edges("author:0")
+            if e.role == "references"
+        ]
+        assert sorted(author_refs) == ["paper:0", "paper:1"]
+
+    def test_id_attribute_not_stored_as_keyword(self, shredded):
+        paper = shredded.data_graph.node("paper:0")
+        assert "id" not in paper.attributes
+
+    def test_schema_derived(self, shredded):
+        assert shredded.schema.has_label("Paper")
+        roles = {e.role for e in shredded.schema.edges}
+        assert roles == {"contains", "references"}
+
+    def test_graph_conforms_to_derived_schema(self, shredded):
+        from repro.graph import check_conformance
+
+        check_conformance(shredded.data_graph, shredded.schema)
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(StorageError):
+            shred_xml("<oops>")
+
+    def test_dangling_idref_raises(self):
+        with pytest.raises(StorageError):
+            shred_xml('<a><b idref="ghost"/></a>')
+
+
+class TestTransferSchema:
+    def test_reference_edges_outweigh_containment(self, shredded):
+        from repro.graph import Direction, EdgeType
+
+        transfer = xml_transfer_schema(shredded.schema)
+        containment = [
+            transfer.rate(EdgeType(e, Direction.FORWARD))
+            for e in shredded.schema.edges
+            if e.role == "contains"
+        ]
+        references = [
+            transfer.rate(EdgeType(e, Direction.FORWARD))
+            for e in shredded.schema.edges
+            if e.role == "references"
+        ]
+        assert min(references) > max(containment)
+
+    def test_convergent_rates(self, shredded):
+        transfer = xml_transfer_schema(shredded.schema)
+        assert transfer.is_convergent()
+
+    def test_backward_fraction_validated(self, shredded):
+        with pytest.raises(StorageError):
+            xml_transfer_schema(shredded.schema, backward_fraction=1.5)
+
+    def test_end_to_end_search_over_xml(self, shredded):
+        """The whole pipeline runs on a shredded document: the cited paper
+        gains authority from the citing element and the author reference."""
+        from repro.core import ObjectRankSystem, SystemConfig
+
+        transfer = xml_transfer_schema(shredded.schema)
+        system = ObjectRankSystem(
+            shredded.data_graph, transfer, SystemConfig(top_k=10, radius=None)
+        )
+        result = system.query("olap")
+        ranking = result.ranked.ranking()
+        assert ranking.index("paper:0") < ranking.index("conference:0")
+        explanation = system.explain("paper:0")
+        assert explanation.converged

@@ -1,0 +1,64 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaf_classes = [
+            errors.GraphError,
+            errors.UnknownNodeError,
+            errors.UnknownLabelError,
+            errors.DuplicateNodeError,
+            errors.ConformanceError,
+            errors.RateError,
+            errors.ConvergenceError,
+            errors.EmptyBaseSetError,
+            errors.ExplanationError,
+            errors.DatasetError,
+            errors.StorageError,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_graph_errors_grouped(self):
+        for cls in (
+            errors.UnknownNodeError,
+            errors.UnknownLabelError,
+            errors.DuplicateNodeError,
+            errors.ConformanceError,
+        ):
+            assert issubclass(cls, errors.GraphError)
+
+
+class TestMessages:
+    def test_unknown_node_carries_id(self):
+        error = errors.UnknownNodeError("v42")
+        assert error.node_id == "v42"
+        assert "v42" in str(error)
+
+    def test_conformance_preview_truncates(self):
+        violations = [f"violation {i}" for i in range(8)]
+        error = errors.ConformanceError(violations)
+        assert error.violations == violations
+        assert "+3 more" in str(error)
+
+    def test_conformance_short_list_no_suffix(self):
+        error = errors.ConformanceError(["only one"])
+        assert "more" not in str(error)
+
+    def test_convergence_error_fields(self):
+        error = errors.ConvergenceError("test fixpoint", 100, 0.5)
+        assert error.iterations == 100
+        assert error.residual == 0.5
+        assert "test fixpoint" in str(error)
+
+    def test_empty_base_set_keywords(self):
+        error = errors.EmptyBaseSetError(("olap", "xml"))
+        assert error.keywords == ("olap", "xml")
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("nope")
