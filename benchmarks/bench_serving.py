@@ -1,0 +1,171 @@
+"""Extension benchmark: serving latency and throughput of ``repro.serve``.
+
+Boots the threaded HTTP server in-process on an ephemeral port over the
+``dblp_complete`` corpus (the paper-scale DBLP graph, where a cold query
+pays a real power iteration) and measures, through real HTTP round trips:
+
+- **cold** latency — ``mode=live`` runs the full ObjectRank2 power iteration
+  on every request (the engine itself is pre-warmed with a different query so
+  the number excludes one-time index/graph construction);
+- **cached** latency — repeated identical ``mode=auto`` queries served from
+  the LRU result cache (verified against the ``/metrics`` hit counter);
+- **precomputed** latency — ``mode=precomputed`` blends per-keyword
+  ObjectRank vectors, no power iteration at query time;
+- throughput at concurrency 1/4/16 with a ``ThreadPoolExecutor`` client.
+
+The cache must undercut the cold path by >=10x — that is the acceptance bar
+for result caching being worth its memory.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.serve import QueryService, ServeConfig, create_server
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+DATASET = "dblp_complete"
+QUERY = "olap"
+WARMUP_QUERY = "mining"
+LATENCY_SAMPLES = 30
+THROUGHPUT_REQUESTS = 120
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def _metric(base: str, name: str) -> float:
+    text = urllib.request.urlopen(f"{base}/metrics", timeout=60).read().decode()
+    for line in text.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[1])
+    return 0.0
+
+
+def _latency(url: str, samples: int = LATENCY_SAMPLES) -> tuple[float, float]:
+    """Median and p95 request latency in seconds over ``samples`` round trips."""
+    times = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        _get(url)
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return statistics.median(times), times[int(0.95 * (len(times) - 1))]
+
+
+def _throughput(base: str, concurrency: int) -> float:
+    url = f"{base}/search?dataset={DATASET}&q={QUERY}"
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        start = time.perf_counter()
+        list(pool.map(lambda _: _get(url), range(THROUGHPUT_REQUESTS)))
+        elapsed = time.perf_counter() - start
+    return THROUGHPUT_REQUESTS / elapsed
+
+
+def run_serving_bench():
+    dataset = load_dataset(DATASET, scale=BENCH_SCALE, seed=BENCH_SEED)
+    service = QueryService(
+        ServeConfig(
+            datasets=(DATASET,),
+            precompute_keywords=(QUERY,),
+            max_concurrency=32,
+        ),
+        datasets={DATASET: dataset},
+    )
+    service.preload()
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = server.url
+    try:
+        # Warm the engine (BM25 index, transfer matrix) with a *different*
+        # query so "cold" measures ranking, not one-time construction.
+        _get(f"{base}/search?dataset={DATASET}&q={WARMUP_QUERY}&mode=live")
+
+        cold_med, cold_p95 = _latency(
+            f"{base}/search?dataset={DATASET}&q={QUERY}&mode=live"
+        )
+        pre_med, pre_p95 = _latency(
+            f"{base}/search?dataset={DATASET}&q={QUERY}&mode=precomputed"
+        )
+
+        hits_before = _metric(base, "repro_cache_hits_total")
+        cached_url = f"{base}/search?dataset={DATASET}&q={QUERY}"
+        _get(cached_url)  # populate the cache entry
+        cached_med, cached_p95 = _latency(cached_url)
+        cache_hits = _metric(base, "repro_cache_hits_total") - hits_before
+
+        throughput = {c: _throughput(base, c) for c in CONCURRENCY_LEVELS}
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    return {
+        "nodes": dataset.num_nodes,
+        "edges": dataset.num_edges,
+        "cold": (cold_med, cold_p95),
+        "precomputed": (pre_med, pre_p95),
+        "cached": (cached_med, cached_p95),
+        "cache_hits": cache_hits,
+        "throughput": throughput,
+    }
+
+
+def test_serving_latency_and_throughput(benchmark):
+    results = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+
+    cold_med, cold_p95 = results["cold"]
+    pre_med, pre_p95 = results["precomputed"]
+    cached_med, cached_p95 = results["cached"]
+
+    latency_table = format_table(
+        ["path", "median (ms)", "p95 (ms)", "speedup vs cold"],
+        [
+            ("cold (live ObjectRank2)", f"{cold_med * 1e3:.3f}",
+             f"{cold_p95 * 1e3:.3f}", "1.0x"),
+            ("precomputed [BHP04]", f"{pre_med * 1e3:.3f}",
+             f"{pre_p95 * 1e3:.3f}", f"{cold_med / pre_med:.1f}x"),
+            ("cached (LRU hit)", f"{cached_med * 1e3:.3f}",
+             f"{cached_p95 * 1e3:.3f}", f"{cold_med / cached_med:.1f}x"),
+        ],
+        title=(
+            f"Extension: serving latency over HTTP, {DATASET} "
+            f"({results['nodes']} nodes, {results['edges']} edges)"
+        ),
+    )
+    throughput_table = format_table(
+        ["concurrency", "requests/s (cached query)"],
+        [(c, f"{rps:.0f}") for c, rps in sorted(results["throughput"].items())],
+        title="Extension: serving throughput (threaded clients, one server)",
+    )
+    write_result("serving", latency_table + "\n\n" + throughput_table)
+
+    # The /metrics hit counter proves every measured "cached" request was a
+    # genuine cache hit, not a silent fallback to live ranking.
+    assert results["cache_hits"] >= LATENCY_SAMPLES
+
+    # Acceptance: a repeated identical query must be >=10x cheaper than cold.
+    assert cached_med * 10 <= cold_med, (
+        f"cache hit {cached_med * 1e3:.3f}ms not 10x faster than "
+        f"cold {cold_med * 1e3:.3f}ms"
+    )
+
+    # Precomputed vectors skip the power iteration, so they beat live ranking.
+    assert pre_med < cold_med
+
+    # More client threads must not reduce total throughput.
+    throughput = results["throughput"]
+    assert throughput[16] >= throughput[1] * 0.8

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""CI smoke test: boot the HTTP query service and hit it for real.
+
+Starts ``QueryHTTPServer`` on an ephemeral port over ``dblp_tiny`` (the same
+configuration ``repro serve dblp_tiny`` uses), then asserts:
+
+- ``/healthz`` answers 200 with ``status: ok``;
+- ``/search`` answers 200 with a non-empty ranked result list;
+- a repeated identical query is served from the cache, and the ``/metrics``
+  hit counter proves it.
+
+Exits non-zero on any failure, so a workflow can gate on it directly:
+
+    PYTHONPATH=src python scripts/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+
+from repro.serve import QueryService, ServeConfig, create_server
+
+
+def fetch(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.status, response.read()
+
+
+def main() -> int:
+    service = QueryService(ServeConfig(datasets=("dblp_tiny",), precompute=False))
+    service.preload()
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = server.url
+    print(f"smoke: serving on {base}")
+    try:
+        status, body = fetch(f"{base}/healthz")
+        assert status == 200, f"/healthz returned {status}"
+        health = json.loads(body)
+        assert health["status"] == "ok", health
+
+        status, body = fetch(f"{base}/search?dataset=dblp_tiny&q=olap&top_k=5")
+        assert status == 200, f"/search returned {status}"
+        first = json.loads(body)
+        assert first["results"], "search returned no results"
+        print(f"smoke: /search 200, top hit {first['results'][0]['id']} "
+              f"(served {first['served_from']})")
+
+        status, body = fetch(f"{base}/search?dataset=dblp_tiny&q=olap&top_k=5")
+        assert status == 200
+        repeat = json.loads(body)
+        assert repeat["served_from"] == "cache", repeat["served_from"]
+        assert repeat["results"] == first["results"]
+
+        status, body = fetch(f"{base}/metrics")
+        assert status == 200, f"/metrics returned {status}"
+        assert b"repro_cache_hits_total 1" in body, "cache hit not counted"
+        print("smoke: repeat query served from cache, hit counted in /metrics")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    print("smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

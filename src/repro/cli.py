@@ -9,7 +9,9 @@ equivalent surface.  Subcommands:
   subgraph of the first result whose id or title matches the substring;
 * ``repro feedback <dataset> <keywords...> --mark N [N...]`` — mark results
   by rank, reformulate, and show the reformulated ranking and learned rates;
-* ``repro repl <dataset>`` — interactive search/explain/feedback shell.
+* ``repro repl <dataset>`` — interactive search/explain/feedback shell;
+* ``repro serve [datasets...]`` — concurrent HTTP query service with result
+  caching, admission control and Prometheus metrics (see ``repro.serve``).
 
 All subcommands accept ``--scale`` and ``--seed`` for the dataset generator
 and ``--top-k`` for the result-list length.
@@ -128,6 +130,36 @@ def cmd_repl(args: argparse.Namespace) -> int:
     return run_repl(dataset, _sys.stdin, config=SystemConfig(top_k=args.top_k))
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The ``repro serve`` subcommand: boot the HTTP query service."""
+    from repro.serve import QueryService, ServeConfig, create_server, serve_forever
+
+    config = ServeConfig(
+        datasets=tuple(args.datasets),
+        scale=args.scale,
+        seed=args.seed,
+        default_top_k=args.top_k,
+        cache_max_entries=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        precompute=not args.no_precompute,
+        max_concurrency=args.max_concurrency,
+        deadline_seconds=args.deadline,
+    )
+    service = QueryService(config)
+    if not args.no_preload:
+        for name in config.datasets:
+            print(f"loading dataset {name} ...", file=sys.stderr)
+        service.preload()
+    server = create_server(service, args.host, args.port, quiet=args.quiet)
+    print(
+        f"repro-serve listening on {server.url} "
+        f"(datasets: {', '.join(config.datasets)}; "
+        f"endpoints: /search /explain /feedback/reformulate /healthz /metrics)"
+    )
+    serve_forever(server)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -171,6 +203,37 @@ def build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive search/explain/feedback shell")
     common(repl)
     repl.set_defaults(func=cmd_repl)
+
+    serve = sub.add_parser("serve", help="HTTP query service with caching + metrics")
+    serve.add_argument(
+        "datasets",
+        nargs="*",
+        default=["dblp_tiny"],
+        help="datasets to serve (default: dblp_tiny)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--top-k", type=int, default=10)
+    serve.add_argument("--cache-size", type=int, default=512, help="max cached results")
+    serve.add_argument(
+        "--cache-ttl", type=float, default=None, help="result TTL seconds (default: none)"
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8, help="in-flight request limit (429 beyond)"
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0, help="per-request deadline seconds (503 beyond)"
+    )
+    serve.add_argument(
+        "--no-precompute", action="store_true", help="disable per-keyword precomputed vectors"
+    )
+    serve.add_argument(
+        "--no-preload", action="store_true", help="build dataset engines lazily on first request"
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress per-request access log")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

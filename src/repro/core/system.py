@@ -144,11 +144,18 @@ class ObjectRankSystem:
             return self._global_warm_start()
         return None
 
+    def _session_graph(self):
+        """The transfer graph under this session's (possibly learned) rates.
+
+        A shared, cached view from the engine — never a mutation of the
+        engine's graph, so concurrent sessions over one engine stay isolated.
+        """
+        return self.engine.transfer_view(self.current_rates)
+
     def _global_warm_start(self) -> np.ndarray:
         if self._global_scores is None:
-            self.engine.graph.set_transfer_rates(self._initial_schema)
             self._global_scores = global_objectrank(
-                self.engine.graph,
+                self.engine.transfer_view(self._initial_schema),
                 self.config.damping,
                 self.config.tolerance,
                 self.config.max_iterations,
@@ -163,7 +170,7 @@ class ObjectRankSystem:
             raise ReproError("query before explaining a result")
         base_ids = list(self.last_result.ranked.base_weights)
         subgraph = build_explaining_subgraph(
-            self.engine.graph, base_ids, node_id, self.config.radius
+            self._session_graph(), base_ids, node_id, self.config.radius
         )
         return adjust_flows(
             subgraph,
@@ -187,12 +194,13 @@ class ObjectRankSystem:
         clock = StageClock()
         base_ids = list(self.last_result.ranked.base_weights)
         scores = self.last_result.scores
+        session_graph = self._session_graph()
 
         explanations: list[FlowExplanation] = []
         for node_id in relevant_ids:
             with clock.stage(STAGE_SUBGRAPH):
                 subgraph = build_explaining_subgraph(
-                    self.engine.graph, base_ids, node_id, self.config.radius
+                    session_graph, base_ids, node_id, self.config.radius
                 )
             with clock.stage(STAGE_ADJUST):
                 explanation = adjust_flows(

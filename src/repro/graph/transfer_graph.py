@@ -134,6 +134,39 @@ class AuthorityTransferDataGraph:
             self.edge_rate = alphas[self.edge_type_index] / self._edge_out_degree
         self._matrix = None
 
+    def with_rates(
+        self, transfer_schema: AuthorityTransferSchemaGraph
+    ) -> "AuthorityTransferDataGraph":
+        """A lightweight view of this graph under different schema-level rates.
+
+        The view shares every topology structure (node index, edge arrays,
+        out-degree counts, incidence indices) with this graph but carries its
+        own ``edge_rate`` array and transition matrix, so concurrent sessions
+        with different learned rates can rank against one materialized graph
+        without mutating it.  Construction costs O(edges) — the same price as
+        :meth:`set_transfer_rates` — and nothing else is copied.
+        """
+        if transfer_schema.edge_types() != self.edge_types:
+            raise GraphError("new transfer schema has different edge types")
+        view = object.__new__(AuthorityTransferDataGraph)
+        view.data_graph = self.data_graph
+        view.node_ids = self.node_ids
+        view._node_index = self._node_index
+        view.num_nodes = self.num_nodes
+        view.edge_types = self.edge_types
+        view.edge_source = self.edge_source
+        view.edge_target = self.edge_target
+        view.edge_type_index = self.edge_type_index
+        view.num_edges = self.num_edges
+        view._edge_out_degree = self._edge_out_degree
+        view._out_index = self._out_index
+        view._in_index = self._in_index
+        view._transfer_schema = transfer_schema
+        view.edge_rate = np.zeros(self.num_edges, dtype=np.float64)
+        view._matrix = None
+        view._recompute_rates()
+        return view
+
     # -- matrix + adjacency views --------------------------------------------
 
     def matrix(self) -> sparse.csr_matrix:

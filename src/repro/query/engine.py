@@ -9,7 +9,9 @@ learned rates, warm-start scores) lives in
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,12 +71,47 @@ class SearchEngine:
     max_iterations: int = DEFAULT_MAX_ITERATIONS
     validate: bool = True
 
+    #: Distinct learned-rate views kept alive per engine.  Each view shares
+    #: the graph topology and only owns an O(edges) rate array plus a sparse
+    #: matrix, so a handful of concurrent sessions is cheap to cache.
+    VIEW_CACHE_SIZE = 8
+
     def __post_init__(self) -> None:
         self.graph = AuthorityTransferDataGraph(
             self.data_graph, self.transfer_schema, validate=self.validate
         )
         self.index = InvertedIndex.from_graph(self.data_graph, self.analyzer)
         self.scorer: Scorer = BM25Scorer(self.index)
+        self._view_lock = threading.Lock()
+        self._views: OrderedDict[tuple, AuthorityTransferDataGraph] = OrderedDict()
+
+    def transfer_view(
+        self, rates: AuthorityTransferSchemaGraph | None = None
+    ) -> AuthorityTransferDataGraph:
+        """The transfer graph under ``rates``, without mutating shared state.
+
+        Returns the engine's own graph when ``rates`` is ``None`` or equals
+        the engine's schema rates; otherwise a cached
+        :meth:`~repro.graph.transfer_graph.AuthorityTransferDataGraph.with_rates`
+        view.  Views are keyed by the canonical rate vector and kept in a
+        small LRU so repeated queries of the same feedback session (or the
+        same cached serving session) reuse one transition matrix.
+        """
+        if rates is None or rates == self.graph.transfer_schema:
+            return self.graph
+        key = tuple(rates.as_vector())
+        with self._view_lock:
+            view = self._views.get(key)
+            if view is not None:
+                self._views.move_to_end(key)
+                return view
+        view = self.graph.with_rates(rates)
+        with self._view_lock:
+            self._views[key] = view
+            self._views.move_to_end(key)
+            while len(self._views) > self.VIEW_CACHE_SIZE:
+                self._views.popitem(last=False)
+        return view
 
     def query_vector(self, query: KeywordQuery | QueryVector | str) -> QueryVector:
         """Normalize any accepted query form into a weighted query vector."""
@@ -95,18 +132,19 @@ class SearchEngine:
         """Run ObjectRank2 and return the top-``top_k`` objects.
 
         ``rates`` overrides the transfer rates for this call (the learned
-        rates of a feedback session); ``init`` warm-starts the power iteration
-        with a previous score vector (Section 6.2); ``labels`` restricts the
-        returned hits to the given node types (e.g. only ``("Paper",)`` —
-        authority hubs like Year nodes still influence scores but are not
-        shown).
+        rates of a feedback session) via a per-call :meth:`transfer_view` —
+        the shared graph is never mutated, so interleaved or concurrent
+        sessions with different learned rates cannot contaminate each other;
+        ``init`` warm-starts the power iteration with a previous score vector
+        (Section 6.2); ``labels`` restricts the returned hits to the given
+        node types (e.g. only ``("Paper",)`` — authority hubs like Year nodes
+        still influence scores but are not shown).
         """
         vector = self.query_vector(query)
-        if rates is not None and rates != self.graph.transfer_schema:
-            self.graph.set_transfer_rates(rates)
+        graph = self.transfer_view(rates)
         start = time.perf_counter()
         ranked = objectrank2(
-            self.graph,
+            graph,
             self.scorer,
             vector,
             self.damping,

@@ -1,0 +1,299 @@
+"""Threaded JSON HTTP front end for :class:`repro.serve.service.QueryService`.
+
+Stdlib-only (``http.server``), one thread per connection via
+``ThreadingHTTPServer``.  Endpoints:
+
+========================  ======  ==============================================
+``/search``               GET     ``?dataset=&q=&top_k=&mode=&labels=``
+``/search``               POST    ``{"dataset", "query", "top_k", "mode",
+                                  "labels"}``
+``/explain``              POST    ``{"dataset", "query", "target",
+                                  "max_edges"}``
+``/feedback/reformulate`` POST    ``{"dataset", "query", "relevant_ids",
+                                  "apply"}``
+``/healthz``              GET     liveness + cache summary (never throttled)
+``/metrics``              GET     Prometheus text format (never throttled)
+========================  ======  ==============================================
+
+Admission control: work endpoints must win a non-blocking semaphore permit
+(``max_concurrency``) or are refused with **429** and a ``Retry-After``
+header; a request whose per-request deadline expires before its expensive
+stage starts gets **503**.  Both are counted in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError, UnknownNodeError
+from repro.serve.service import Deadline, DeadlineExceededError, QueryService
+
+MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is plenty for any query
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns the service and the admission state."""
+
+    daemon_threads = True
+    # The stdlib default listen backlog of 5 drops SYNs under bursty client
+    # fan-out; dropped SYNs retransmit after ~1s and crater tail latency.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, QueryRequestHandler)
+        self.service = service
+        self.quiet = quiet
+        self.admission = threading.BoundedSemaphore(service.config.max_concurrency)
+        self.deadline_seconds = service.config.deadline_seconds
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> QueryHTTPServer:
+    """Bind a server (``port=0`` picks an ephemeral port) without starting it."""
+    return QueryHTTPServer((host, port), service, quiet=quiet)
+
+
+class QueryRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the service and speaks JSON both ways."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - console logging
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, error: str, message: str, headers: dict | None = None
+    ) -> None:
+        self._send_json(status, {"error": error, "message": message}, headers)
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("a JSON request body is required")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("JSON body must be an object")
+        return body
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif parsed.path == "/metrics":
+            text = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+        elif parsed.path == "/search":
+            self._guarded(self._search_from_query_string, parsed)
+        else:
+            self._send_error_json(404, "not_found", f"no route for {parsed.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        routes = {
+            "/search": self._search_from_body,
+            "/explain": self._explain_from_body,
+            "/feedback/reformulate": self._reformulate_from_body,
+        }
+        handler = routes.get(parsed.path)
+        if handler is None:
+            self._send_error_json(404, "not_found", f"no route for {parsed.path}")
+            return
+        self._guarded(handler)
+
+    def _guarded(self, handler, *args) -> None:
+        """Run a work endpoint under admission control and error mapping."""
+        service = self.service
+        if not self.server.admission.acquire(blocking=False):
+            service.note_rejected()
+            self._send_error_json(
+                429,
+                "overloaded",
+                "concurrency limit reached, retry shortly",
+                headers={"Retry-After": "1"},
+            )
+            return
+        # The permit must be released *before* the response is written:
+        # otherwise a strictly sequential client can be refused because the
+        # previous request's thread has flushed its response but not yet
+        # reached the release.
+        try:
+            deadline = Deadline(self.server.deadline_seconds)
+            response = (200, handler(*args, deadline=deadline))
+        except _BadRequest as error:
+            service.note_error()
+            response = (400, {"error": "bad_request", "message": str(error)})
+        except DeadlineExceededError as error:
+            service.note_rejected()
+            response = (503, {"error": "deadline_exceeded", "message": str(error)})
+        except UnknownNodeError as error:
+            service.note_error()
+            response = (404, {"error": "unknown_node", "message": str(error)})
+        except ReproError as error:
+            service.note_error()
+            status = 404 if "is not served" in str(error) else 400
+            response = (status, {"error": "repro_error", "message": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            service.note_error()
+            response = (500, {"error": "internal_error", "message": str(error)})
+        finally:
+            self.server.admission.release()
+        self._send_json(*response)
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def _search_from_query_string(self, parsed, deadline: Deadline) -> dict:
+        params = parse_qs(parsed.query)
+
+        def one(name: str, default=None):
+            values = params.get(name)
+            return values[0] if values else default
+
+        dataset = one("dataset")
+        query = one("q") or one("query")
+        if not dataset or not query:
+            raise _BadRequest("parameters 'dataset' and 'q' are required")
+        labels = one("labels")
+        return self.service.search(
+            dataset,
+            query,
+            top_k=_optional_int(one("top_k"), "top_k"),
+            mode=one("mode", "auto"),
+            labels=tuple(labels.split(",")) if labels else None,
+            deadline=deadline,
+        )
+
+    def _search_from_body(self, deadline: Deadline) -> dict:
+        body = self._read_json_body()
+        dataset = body.get("dataset")
+        query = body.get("query") or body.get("q")
+        if not dataset or not query:
+            raise _BadRequest("fields 'dataset' and 'query' are required")
+        labels = body.get("labels")
+        if labels is not None and not isinstance(labels, list):
+            raise _BadRequest("'labels' must be a list of node labels")
+        return self.service.search(
+            dataset,
+            _query_from_json(query),
+            top_k=_optional_int(body.get("top_k"), "top_k"),
+            mode=body.get("mode", "auto"),
+            labels=tuple(labels) if labels else None,
+            deadline=deadline,
+        )
+
+    def _explain_from_body(self, deadline: Deadline) -> dict:
+        body = self._read_json_body()
+        dataset, query, target = (
+            body.get("dataset"),
+            body.get("query"),
+            body.get("target"),
+        )
+        if not dataset or not query or not target:
+            raise _BadRequest("fields 'dataset', 'query' and 'target' are required")
+        return self.service.explain(
+            dataset,
+            _query_from_json(query),
+            target,
+            max_edges=_optional_int(body.get("max_edges"), "max_edges") or 50,
+            deadline=deadline,
+        )
+
+    def _reformulate_from_body(self, deadline: Deadline) -> dict:
+        body = self._read_json_body()
+        dataset, query = body.get("dataset"), body.get("query")
+        relevant = body.get("relevant_ids")
+        if not dataset or not query or not isinstance(relevant, list) or not relevant:
+            raise _BadRequest(
+                "fields 'dataset', 'query' and a non-empty 'relevant_ids' "
+                "list are required"
+            )
+        return self.service.feedback_reformulate(
+            dataset,
+            _query_from_json(query),
+            [str(node_id) for node_id in relevant],
+            apply=bool(body.get("apply", True)),
+            deadline=deadline,
+        )
+
+
+class _BadRequest(Exception):
+    """Client-side input error, mapped to HTTP 400."""
+
+
+def _optional_int(raw, name: str) -> int | None:
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise _BadRequest(f"'{name}' must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise _BadRequest(f"'{name}' must be positive, got {value}")
+    return value
+
+
+def _query_from_json(query):
+    """Accept either a query string or a {term: weight} object."""
+    if isinstance(query, str):
+        return query
+    if isinstance(query, dict):
+        from repro.query.query import QueryVector
+
+        try:
+            return QueryVector({str(t): float(w) for t, w in query.items()})
+        except (TypeError, ValueError) as error:
+            raise _BadRequest(f"invalid query vector: {error}") from None
+    raise _BadRequest("'query' must be a string or a term->weight object")
+
+
+def serve_forever(server: QueryHTTPServer) -> None:  # pragma: no cover - CLI loop
+    """Run until interrupted, then close the socket cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,197 @@
+"""Counters and latency histograms for the query service, Prometheus-style.
+
+Stdlib-only instrumentation: named counters and histogram/summaries collected
+in a :class:`MetricsRegistry` and rendered in the Prometheus text exposition
+format (version 0.0.4) for the ``/metrics`` endpoint.  Histograms keep a
+bounded window of recent observations for the p50/p95/p99 quantiles — serving
+latency is a moving target, so a windowed quantile is more honest than an
+all-time one — alongside exact all-time ``_count`` and ``_sum``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Observation window for histogram quantiles (recent-behaviour estimate).
+DEFAULT_WINDOW = 2048
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} counter")
+        lines.append(f"{self.name} {_format_value(self.value)}")
+        return "\n".join(lines)
+
+
+class Histogram:
+    """Windowed quantiles plus exact count/sum, rendered as a summary."""
+
+    def __init__(
+        self, name: str, help_text: str = "", window: int = DEFAULT_WINDOW
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._window.append(float(value))
+            self._count += 1
+            self._sum += float(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the observation window (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            samples = sorted(self._window)
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, round(q * (len(samples) - 1))))
+        return samples[rank]
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} summary")
+        for q in QUANTILES:
+            lines.append(
+                f'{self.name}{{quantile="{_format_value(q)}"}} '
+                f"{_format_value(self.quantile(q))}"
+            )
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {_format_value(self.count)}")
+        return "\n".join(lines)
+
+
+class Gauge:
+    """A value that can go up and down (cache size, in-flight requests)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> str:
+        lines = []
+        if self.help_text:
+            lines.append(f"# HELP {self.name} {self.help_text}")
+        lines.append(f"# TYPE {self.name} gauge")
+        lines.append(f"{self.name} {_format_value(self.value)}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metrics with one-call text rendering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Histogram | Gauge] = {}
+
+    def _get_or_create(self, name: str, factory, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help_text), Counter)
+
+    def histogram(
+        self, name: str, help_text: str = "", window: int = DEFAULT_WINDOW
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help_text, window), Histogram
+        )
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text), Gauge)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name -> value view (histograms contribute count/sum/p50/p95/p99)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        flat: dict[str, float] = {}
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                flat[f"{metric.name}_count"] = float(metric.count)
+                flat[f"{metric.name}_sum"] = metric.sum
+                for q in QUANTILES:
+                    flat[f"{metric.name}_p{int(q * 100)}"] = metric.quantile(q)
+            else:
+                flat[metric.name] = metric.value
+        return flat
+
+    def render(self) -> str:
+        """All metrics in Prometheus text exposition format."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        return "\n".join(metric.render() for metric in metrics) + "\n"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number formatting (integers without a dot)."""
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)

@@ -1,0 +1,586 @@
+"""The query service: per-dataset engines, result caching, execution routing.
+
+:class:`QueryService` is the serving layer the paper's Section 6.2 asks for —
+on-the-fly ObjectRank2 is "clearly too long for exploratory searching", so a
+deployed system answers from the cheapest source that is still correct:
+
+1. the **result cache** (exact answers computed earlier under the same
+   dataset, query vector, transfer rates and ``top_k``);
+2. the **precomputed ranker** (per-keyword [BHP04] vectors blended at query
+   time), used only while it is *fresh* — a structure-based reformulation
+   that changes the serving rates makes it stale and routes traffic back to
+3. **live ObjectRank2** over the shared engine, through the per-call
+   transfer-rate views of :meth:`repro.query.engine.SearchEngine.search`
+   (no shared-graph mutation, so concurrent sessions stay isolated).
+
+All responses are JSON-ready dicts; the HTTP layer in
+:mod:`repro.serve.http_server` only adds transport concerns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DEFAULT_RADIUS
+from repro.datasets import load_dataset
+from repro.datasets.base import Dataset
+from repro.errors import EmptyBaseSetError, ReproError
+from repro.explain.adjustment import adjust_flows
+from repro.explain.subgraph import build_explaining_subgraph
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.query.engine import SearchEngine
+from repro.query.query import KeywordQuery, QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.ranking.precompute import PrecomputedRanker
+from repro.reformulate.combined import Reformulator
+from repro.serve.cache import ResultCache, make_key
+from repro.serve.metrics import MetricsRegistry
+
+SERVE_MODES = ("auto", "live", "precomputed")
+
+
+class DeadlineExceededError(ReproError):
+    """The request's time budget ran out before the expensive work started."""
+
+
+class OverloadedError(ReproError):
+    """The service refused the request under admission control."""
+
+
+class Deadline:
+    """A monotonic per-request time budget, checked before expensive stages.
+
+    The power iteration itself is not preemptible, so the deadline is
+    enforced at stage boundaries: a request that has already used its budget
+    fails fast instead of starting another full ObjectRank2 run.
+    """
+
+    def __init__(self, seconds: float, clock=time.monotonic) -> None:
+        self._clock = clock
+        self.seconds = seconds
+        self._expires_at = clock() + seconds
+
+    def remaining(self) -> float:
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, stage: str) -> None:
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline of {self.seconds:.3f}s exceeded before {stage}"
+            )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one query service instance."""
+
+    datasets: tuple[str, ...] = ("dblp_tiny",)
+    scale: float = 1.0
+    seed: int = 7
+    default_top_k: int = 10
+    radius: int | None = DEFAULT_RADIUS
+    cache_max_entries: int = 512
+    cache_ttl_seconds: float | None = None
+    precompute: bool = True
+    precompute_min_document_frequency: int = 2
+    precompute_keywords: tuple[str, ...] | None = None
+    max_concurrency: int = 8
+    deadline_seconds: float = 30.0
+
+
+class DatasetRuntime:
+    """Everything the service holds per dataset: engine, rates, precompute.
+
+    ``current_rates`` is the dataset's *serving* rate schema — the initial
+    expert rates until a structure-based reformulation is applied, the
+    learned rates afterwards.  The precomputed ranker is built lazily on
+    first use (it runs one ObjectRank per index keyword) and is consulted
+    only while :meth:`PrecomputedRanker.is_stale` says it matches the
+    serving rates.
+    """
+
+    def __init__(self, dataset: Dataset, config: ServeConfig) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+        self.current_rates: AuthorityTransferSchemaGraph = dataset.transfer_schema
+        self.reformulations_applied = 0
+        self._rates_lock = threading.Lock()
+        self._precompute_lock = threading.Lock()
+        self._precomputed: PrecomputedRanker | None = None
+        self._precompute_built = False
+
+    @property
+    def rates(self) -> AuthorityTransferSchemaGraph:
+        with self._rates_lock:
+            return self.current_rates
+
+    def apply_rates(self, rates: AuthorityTransferSchemaGraph) -> None:
+        """Swap in learned serving rates (reformulation wiring calls this)."""
+        with self._rates_lock:
+            self.current_rates = rates
+            self.reformulations_applied += 1
+
+    def precomputed_ranker(self) -> PrecomputedRanker | None:
+        """The per-keyword ranker, built on first call; ``None`` if disabled."""
+        if not self.config.precompute:
+            return None
+        with self._precompute_lock:
+            if not self._precompute_built:
+                keywords = (
+                    list(self.config.precompute_keywords)
+                    if self.config.precompute_keywords is not None
+                    else None
+                )
+                self._precomputed = PrecomputedRanker(
+                    self.engine.graph,
+                    self.engine.index,
+                    keywords=keywords,
+                    min_document_frequency=(
+                        self.config.precompute_min_document_frequency
+                    ),
+                )
+                self._precompute_built = True
+            return self._precomputed
+
+
+class QueryService:
+    """Concurrent query serving over one or more datasets.
+
+    Thread-safe: request handling mutates only the cache, the metrics and
+    (under ``/feedback/reformulate``) a runtime's serving rates, each behind
+    its own lock.  Dataset loading and engine construction happen at most
+    once per dataset name.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        datasets: dict[str, Dataset] | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = registry or MetricsRegistry()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_max_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.reformulator = Reformulator()
+        self._preloaded = dict(datasets) if datasets else {}
+        self._runtimes: dict[str, DatasetRuntime] = {}
+        self._runtimes_lock = threading.Lock()
+        self._started_at = time.monotonic()
+
+        m = self.metrics
+        self._requests = m.counter(
+            "repro_requests_total", "Requests accepted by the service"
+        )
+        self._rejected = m.counter(
+            "repro_requests_rejected_total",
+            "Requests refused by admission control or deadlines",
+        )
+        self._errors = m.counter(
+            "repro_request_errors_total", "Requests that failed with an error"
+        )
+        self._cache_hits = m.counter(
+            "repro_cache_hits_total", "Search responses served from the result cache"
+        )
+        self._cache_misses = m.counter(
+            "repro_cache_misses_total", "Search requests not answerable from cache"
+        )
+        self._served_precomputed = m.counter(
+            "repro_served_precomputed_total",
+            "Search responses served from precomputed keyword vectors",
+        )
+        self._served_live = m.counter(
+            "repro_served_live_total",
+            "Search responses computed by live ObjectRank2",
+        )
+        self._invalidations = m.counter(
+            "repro_cache_invalidations_total",
+            "Cache entries dropped by reformulation-driven invalidation",
+        )
+        self._or_iterations = m.counter(
+            "repro_objectrank_iterations_total",
+            "Power-iteration steps spent answering live queries",
+        )
+        self._latency = m.histogram(
+            "repro_request_seconds", "End-to-end service latency per request"
+        )
+        self._search_latency = m.histogram(
+            "repro_search_seconds", "Service latency of /search requests"
+        )
+
+    # -- dataset runtimes --------------------------------------------------
+
+    def dataset_names(self) -> list[str]:
+        return list(self.config.datasets)
+
+    def runtime(self, dataset: str) -> DatasetRuntime:
+        """The (lazily built) runtime for one configured dataset."""
+        with self._runtimes_lock:
+            runtime = self._runtimes.get(dataset)
+        if runtime is not None:
+            return runtime
+        if dataset not in self.config.datasets and dataset not in self._preloaded:
+            raise ReproError(
+                f"dataset {dataset!r} is not served; configured: "
+                f"{', '.join(self.config.datasets)}"
+            )
+        loaded = self._preloaded.get(dataset) or load_dataset(
+            dataset, scale=self.config.scale, seed=self.config.seed
+        )
+        built = DatasetRuntime(loaded, self.config)
+        with self._runtimes_lock:
+            # Another thread may have built it concurrently; first one wins.
+            runtime = self._runtimes.setdefault(dataset, built)
+        return runtime
+
+    def preload(self) -> None:
+        """Build every configured dataset's engine up front (CLI startup)."""
+        for name in self.config.datasets:
+            self.runtime(name)
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        dataset: str,
+        query: str | KeywordQuery | QueryVector,
+        top_k: int | None = None,
+        mode: str = "auto",
+        labels: tuple[str, ...] | None = None,
+        deadline: Deadline | None = None,
+    ) -> dict:
+        """Answer one search request, routed cache -> precomputed -> live.
+
+        ``mode`` forces an execution path: ``"auto"`` (default) consults the
+        cache and the precomputed ranker before falling back to live
+        ObjectRank2; ``"precomputed"`` and ``"live"`` bypass the cache read
+        and force their path (useful for benchmarking and debugging).  All
+        modes still populate the cache.
+        """
+        if mode not in SERVE_MODES:
+            raise ReproError(f"unknown mode {mode!r}; expected one of {SERVE_MODES}")
+        start = time.perf_counter()
+        self._requests.inc()
+        runtime = self.runtime(dataset)
+        vector = runtime.engine.query_vector(query)
+        rates = runtime.rates
+        k = top_k if top_k is not None else self.config.default_top_k
+        key = make_key(dataset, vector, rates, k) + ((labels,) if labels else ())
+
+        if mode == "auto":
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                return self._finish(cached, "cache", start)
+            self._cache_misses.inc()
+
+        if deadline is not None:
+            deadline.check("ranking")
+
+        served_from = "live"
+        ranked: RankedResult | None = None
+        if mode in ("auto", "precomputed"):
+            ranker = runtime.precomputed_ranker()
+            fresh = ranker is not None and not ranker.is_stale(rates)
+            if mode == "precomputed" and not fresh:
+                raise ReproError(
+                    "precomputed mode unavailable: "
+                    + ("ranker disabled" if ranker is None else "ranker is stale")
+                )
+            if fresh:
+                try:
+                    ranked = ranker.rank(vector)
+                    served_from = "precomputed"
+                except EmptyBaseSetError:
+                    if mode == "precomputed":
+                        ranked = RankedResult([], _EMPTY_SCORES, 0, True)
+                        served_from = "precomputed"
+                    # auto: fall through to live, which may still match
+                    # (or raise the same error, mapped to an empty payload).
+
+        if served_from == "live":
+            try:
+                result = runtime.engine.search(
+                    vector, top_k=k, rates=rates, labels=labels
+                )
+                ranked, top = result.ranked, result.top
+            except EmptyBaseSetError:
+                ranked, top = RankedResult([], _EMPTY_SCORES, 0, True), []
+            self._served_live.inc()
+            self._or_iterations.inc(ranked.iterations)
+        else:
+            top = _top_k(ranked, k, labels, runtime)
+            self._served_precomputed.inc()
+
+        payload = {
+            "dataset": dataset,
+            "query": dict(vector.weights),
+            "top_k": k,
+            "results": [
+                {
+                    "rank": rank,
+                    "id": node_id,
+                    "label": runtime.dataset.data_graph.node(node_id).label,
+                    "caption": _caption(runtime.dataset, node_id),
+                    "score": score,
+                }
+                for rank, (node_id, score) in enumerate(top, start=1)
+            ],
+            "iterations": ranked.iterations,
+            "converged": ranked.converged,
+        }
+        # A forced-precomputed request the ranker could not answer yields an
+        # empty payload that auto traffic would answer live — never cache it.
+        unanswerable = served_from == "precomputed" and not ranked.node_ids
+        if not unanswerable:
+            self.cache.put(key, payload)
+        return self._finish(payload, served_from, start)
+
+    def _finish(self, payload: dict, served_from: str, start: float) -> dict:
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        self._search_latency.observe(elapsed)
+        response = dict(payload)
+        response["served_from"] = served_from
+        response["elapsed_seconds"] = elapsed
+        return response
+
+    # -- explanation -------------------------------------------------------
+
+    def explain(
+        self,
+        dataset: str,
+        query: str | KeywordQuery | QueryVector,
+        target: str,
+        max_edges: int = 50,
+        deadline: Deadline | None = None,
+    ) -> dict:
+        """Explain why ``target`` ranks for ``query``: adjusted flow edges.
+
+        Runs live ObjectRank2 (explanations need the full converged score
+        vector, which cached top-k payloads do not carry), builds the
+        explaining subgraph under the dataset's serving rates, and runs the
+        Section 4 flow-adjustment fixpoint.
+        """
+        start = time.perf_counter()
+        self._requests.inc()
+        runtime = self.runtime(dataset)
+        vector = runtime.engine.query_vector(query)
+        rates = runtime.rates
+        if deadline is not None:
+            deadline.check("explanation")
+        result = runtime.engine.search(vector, top_k=self.config.default_top_k, rates=rates)
+        self._or_iterations.inc(result.iterations)
+        graph = runtime.engine.transfer_view(rates)
+        graph.index_of(target)  # raises UnknownNodeError early
+        subgraph = build_explaining_subgraph(
+            graph, list(result.ranked.base_weights), target, self.config.radius
+        )
+        explanation = adjust_flows(subgraph, result.ranked.scores)
+        edges = sorted(
+            explanation.edge_flow_items(), key=lambda item: item[2], reverse=True
+        )
+        payload = {
+            "dataset": dataset,
+            "query": dict(vector.weights),
+            "target": target,
+            "target_caption": _caption(runtime.dataset, target),
+            "target_inflow": explanation.target_inflow(),
+            "adjustment_iterations": explanation.iterations,
+            "converged": explanation.converged,
+            "subgraph_nodes": len(subgraph.nodes),
+            "subgraph_edges": int(len(subgraph.edge_ids)),
+            "edges": [
+                {"source": source, "target": edge_target, "flow": flow}
+                for source, edge_target, flow in edges[:max_edges]
+            ],
+        }
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        payload["elapsed_seconds"] = elapsed
+        return payload
+
+    # -- feedback / reformulation ------------------------------------------
+
+    def feedback_reformulate(
+        self,
+        dataset: str,
+        query: str | KeywordQuery | QueryVector,
+        relevant_ids: list[str],
+        apply: bool = True,
+        deadline: Deadline | None = None,
+    ) -> dict:
+        """Reformulate from marked-relevant results; optionally apply rates.
+
+        With ``apply=True`` (default) the learned transfer rates become the
+        dataset's serving rates, which *invalidates* the dataset's result
+        cache entries and leaves the precomputed ranker stale (subsequent
+        queries route to live ObjectRank2 until the rates return to the
+        precomputed snapshot or the ranker is rebuilt).  ``apply=False`` is a
+        what-if: the reformulation and its reranked results are returned but
+        serving state is untouched.
+        """
+        start = time.perf_counter()
+        self._requests.inc()
+        runtime = self.runtime(dataset)
+        vector = runtime.engine.query_vector(query)
+        rates = runtime.rates
+        if deadline is not None:
+            deadline.check("feedback search")
+        result = runtime.engine.search(
+            vector, top_k=self.config.default_top_k, rates=rates
+        )
+        self._or_iterations.inc(result.iterations)
+
+        graph = runtime.engine.transfer_view(rates)
+        base_ids = list(result.ranked.base_weights)
+        explanations = []
+        for node_id in relevant_ids:
+            graph.index_of(node_id)  # raises UnknownNodeError early
+            if deadline is not None:
+                deadline.check(f"explanation of {node_id}")
+            subgraph = build_explaining_subgraph(
+                graph, base_ids, node_id, self.config.radius
+            )
+            explanations.append(adjust_flows(subgraph, result.ranked.scores))
+
+        reformulated = self.reformulator.reformulate(vector, rates, explanations)
+        invalidated = 0
+        if apply and explanations:
+            runtime.apply_rates(reformulated.transfer_schema)
+            invalidated = self.cache.invalidate(dataset)
+            self._invalidations.inc(invalidated)
+
+        if deadline is not None:
+            deadline.check("reformulated search")
+        rerun = runtime.engine.search(
+            reformulated.query_vector,
+            top_k=self.config.default_top_k,
+            rates=reformulated.transfer_schema,
+            init=result.ranked.scores,
+        )
+        self._or_iterations.inc(rerun.iterations)
+
+        ranker = runtime.precomputed_ranker()
+        payload = {
+            "dataset": dataset,
+            "query": dict(vector.weights),
+            "relevant_ids": list(relevant_ids),
+            "applied": bool(apply and explanations),
+            "invalidated_cache_entries": invalidated,
+            "precomputed_stale": (
+                ranker.is_stale(runtime.rates) if ranker is not None else None
+            ),
+            "reformulated_query": dict(reformulated.query_vector.weights),
+            "learned_rates": {
+                str(edge_type): reformulated.transfer_schema.rate(edge_type)
+                for edge_type in reformulated.transfer_schema.edge_types()
+            },
+            "results": [
+                {
+                    "rank": rank,
+                    "id": node_id,
+                    "label": runtime.dataset.data_graph.node(node_id).label,
+                    "caption": _caption(runtime.dataset, node_id),
+                    "score": score,
+                }
+                for rank, (node_id, score) in enumerate(rerun.top, start=1)
+            ],
+            "iterations": rerun.iterations,
+        }
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        payload["elapsed_seconds"] = elapsed
+        return payload
+
+    # -- introspection -----------------------------------------------------
+
+    def note_rejected(self) -> None:
+        """Count a request refused by admission control or a deadline."""
+        self._rejected.inc()
+
+    def note_error(self) -> None:
+        """Count a request that failed with a client or server error."""
+        self._errors.inc()
+
+    def health(self) -> dict:
+        stats = self.cache.stats()
+        with self._runtimes_lock:
+            loaded = sorted(self._runtimes)
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "datasets": {
+                "configured": list(self.config.datasets),
+                "loaded": loaded,
+            },
+            "cache": {
+                "size": stats.size,
+                "max_entries": stats.max_entries,
+                "hit_rate": stats.hit_rate,
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition, cache gauges refreshed on the way out."""
+        stats = self.cache.stats()
+        self.metrics.gauge(
+            "repro_cache_entries", "Entries currently held by the result cache"
+        ).set(stats.size)
+        self.metrics.gauge(
+            "repro_cache_evictions", "LRU evictions since startup"
+        ).set(stats.evictions)
+        self.metrics.gauge(
+            "repro_cache_expirations", "TTL expirations since startup"
+        ).set(stats.expirations)
+        return self.metrics.render()
+
+
+# -- serialization helpers -------------------------------------------------
+
+_EMPTY_SCORES = np.zeros(0)
+
+
+def _caption(dataset: Dataset, node_id: str) -> str:
+    """A short human-readable label for a node (mirrors the CLI's)."""
+    node = dataset.data_graph.node(node_id)
+    name = (
+        node.attributes.get("title")
+        or node.attributes.get("name")
+        or node.attributes.get("symbol")
+        or node_id
+    )
+    return f"{node.label}: {name[:70]}"
+
+
+def _top_k(
+    ranked: RankedResult,
+    k: int,
+    labels: tuple[str, ...] | None,
+    runtime: DatasetRuntime,
+) -> list[tuple[str, float]]:
+    """Top-k extraction with the engine's label-filter semantics."""
+    if not ranked.node_ids:
+        return []
+    if not labels:
+        return ranked.top_k(k)
+    wanted = set(labels)
+    index_of = {node_id: i for i, node_id in enumerate(ranked.node_ids)}
+    top: list[tuple[str, float]] = []
+    for node_id in ranked.ranking():
+        if runtime.dataset.data_graph.node(node_id).label in wanted:
+            top.append((node_id, float(ranked.scores[index_of[node_id]])))
+            if len(top) == k:
+                break
+    return top

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import dblp_transfer_schema
-from repro.datasets.figure1 import figure1_dataset
+from repro.datasets.figure1 import figure1_dataset  # noqa: F401 (fixture + tests)
 from repro.errors import EmptyBaseSetError
 from repro.query import KeywordQuery, QueryVector, SearchEngine
 
@@ -74,6 +74,85 @@ class TestSearch:
     def test_elapsed_recorded(self, engine):
         result = engine.search("OLAP")
         assert result.elapsed_seconds > 0
+
+
+class TestRatesIsolation:
+    """A per-call ``rates`` override must never leak into shared state."""
+
+    NO_CITES = [0.0, 0.0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1]
+    NO_AUTHORS = [0.7, 0.0, 0.0, 0.0, 0.3, 0.3, 0.3, 0.1]
+
+    def test_rates_override_does_not_mutate_shared_graph(self, engine):
+        initial = engine.graph.transfer_schema
+        engine.search("OLAP", rates=dblp_transfer_schema(self.NO_CITES))
+        assert engine.graph.transfer_schema is initial
+        assert initial.as_vector() == dblp_transfer_schema().as_vector()
+
+    def test_default_search_unaffected_by_prior_override(self, engine):
+        before = engine.search("OLAP")
+        engine.search("OLAP", rates=dblp_transfer_schema(self.NO_CITES))
+        after = engine.search("OLAP")
+        assert after.ranked.ranking() == before.ranked.ranking()
+        assert np.allclose(after.scores, before.scores)
+
+    def test_interleaved_sessions_do_not_contaminate(self, engine):
+        """Two sessions with different learned rates, interleaved on one
+        shared engine, see exactly what dedicated engines would compute."""
+        rates_a = dblp_transfer_schema(self.NO_CITES)
+        rates_b = dblp_transfer_schema(self.NO_AUTHORS)
+        dataset = figure1_dataset()
+        dedicated_a = SearchEngine(
+            dataset.data_graph, rates_a, tolerance=1e-8
+        ).search("OLAP")
+        dedicated_b = SearchEngine(
+            dataset.data_graph, rates_b, tolerance=1e-8
+        ).search("OLAP")
+
+        a1 = engine.search("OLAP", rates=rates_a)
+        b1 = engine.search("OLAP", rates=rates_b)
+        a2 = engine.search("OLAP", rates=rates_a)
+        b2 = engine.search("OLAP", rates=rates_b)
+
+        for run in (a1, a2):
+            assert run.ranked.ranking() == dedicated_a.ranked.ranking()
+            assert np.allclose(run.scores, dedicated_a.scores)
+        for run in (b1, b2):
+            assert run.ranked.ranking() == dedicated_b.ranked.ranking()
+            assert np.allclose(run.scores, dedicated_b.scores)
+
+    def test_concurrent_sessions_match_sequential(self, engine):
+        """The serving scenario: threads hammer one engine with different
+        learned rates; every result must equal its sequential baseline."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        sessions = {
+            "default": None,
+            "no_cites": dblp_transfer_schema(self.NO_CITES),
+            "no_authors": dblp_transfer_schema(self.NO_AUTHORS),
+        }
+        expected = {
+            name: engine.search("OLAP", rates=rates).scores
+            for name, rates in sessions.items()
+        }
+
+        def run(name):
+            return name, engine.search("OLAP", rates=sessions[name]).scores
+
+        jobs = [name for name in sessions for _ in range(8)]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            for name, scores in pool.map(run, jobs):
+                assert np.allclose(scores, expected[name]), name
+
+    def test_transfer_view_is_cached_and_shares_topology(self, engine):
+        rates = dblp_transfer_schema(self.NO_CITES)
+        view1 = engine.transfer_view(rates)
+        view2 = engine.transfer_view(dblp_transfer_schema(self.NO_CITES))
+        assert view1 is view2
+        assert view1 is not engine.graph
+        assert view1.edge_source is engine.graph.edge_source
+        assert view1.edge_rate is not engine.graph.edge_rate
+        assert engine.transfer_view(None) is engine.graph
+        assert engine.transfer_view(dblp_transfer_schema()) is engine.graph
 
 
 class TestLabelFilter:

@@ -1,0 +1,126 @@
+"""Unit tests for serving metrics: counters, histograms, text rendering."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_render(self):
+        counter = Counter("requests_total", "Requests seen")
+        counter.inc(3)
+        text = counter.render()
+        assert "# HELP requests_total Requests seen" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        hist = Histogram("latency_seconds")
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.6)
+
+    def test_quantiles_on_known_distribution(self):
+        hist = Histogram("latency_seconds")
+        for i in range(1, 101):  # 1..100 ms
+            hist.observe(i / 1000)
+        assert hist.quantile(0.5) == pytest.approx(0.050, abs=0.002)
+        assert hist.quantile(0.95) == pytest.approx(0.095, abs=0.002)
+        assert hist.quantile(0.99) == pytest.approx(0.099, abs=0.002)
+        assert hist.quantile(0.0) == pytest.approx(0.001)
+        assert hist.quantile(1.0) == pytest.approx(0.100)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_window_bounds_memory_but_not_count(self):
+        hist = Histogram("x", window=10)
+        for i in range(100):
+            hist.observe(float(i))
+        assert hist.count == 100
+        # Window holds only the last 10 observations (90..99).
+        assert hist.quantile(0.0) == 90.0
+
+    def test_render_summary_format(self):
+        hist = Histogram("latency_seconds", "Latency")
+        hist.observe(0.25)
+        text = hist.render()
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 0.25' in text
+        assert "latency_seconds_sum 0.25" in text
+        assert "latency_seconds_count 1" in text
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("in_flight")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+        assert "# TYPE in_flight gauge" in gauge.render()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+
+    def test_render_contains_all_metrics_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total").inc()
+        registry.histogram("a_seconds").observe(0.5)
+        text = registry.render()
+        assert text.index("a_seconds") < text.index("z_total")
+        assert text.endswith("\n")
+
+    def test_snapshot_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(2)
+        hist = registry.histogram("lat")
+        hist.observe(1.0)
+        snap = registry.snapshot()
+        assert snap["hits_total"] == 2
+        assert snap["lat_count"] == 1
+        assert snap["lat_p50"] == 1.0
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        hist = registry.histogram("h")
+
+        def worker(_):
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(1.0)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        assert counter.value == 8000
+        assert hist.count == 8000
