@@ -10,6 +10,8 @@ equivalent surface.  Subcommands:
 * ``repro feedback <dataset> <keywords...> --mark N [N...]`` — mark results
   by rank, reformulate, and show the reformulated ranking and learned rates;
 * ``repro repl <dataset>`` — interactive search/explain/feedback shell;
+* ``repro precompute <dataset> [--workers N]`` — offline per-keyword vector
+  build through the blocked multi-restart engine (``repro.ranking.batch``);
 * ``repro serve [datasets...]`` — concurrent HTTP query service with result
   caching, admission control and Prometheus metrics (see ``repro.serve``).
 
@@ -120,6 +122,46 @@ def cmd_feedback(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_precompute(args: argparse.Namespace) -> int:
+    """The ``repro precompute`` subcommand: offline per-keyword vector build.
+
+    Runs the [BHP04] precomputation (one authority vector per index keyword)
+    through the blocked multi-restart engine, optionally across ``--workers``
+    processes, and reports build statistics.  This is the offline half of the
+    serving layer's precomputed fast path.
+    """
+    import time
+
+    from repro.query.engine import SearchEngine
+    from repro.ranking.precompute import PrecomputedRanker
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+    vocabulary = [
+        term
+        for term in engine.index.vocabulary()
+        if engine.index.document_frequency(term) >= args.min_df
+    ]
+    start = time.perf_counter()
+    ranker = PrecomputedRanker(
+        engine.graph,
+        engine.index,
+        keywords=args.keywords or None,
+        min_document_frequency=args.min_df,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - start
+    built = len(ranker.keywords)
+    print(f"dataset: {args.dataset} ({dataset.num_nodes} nodes, {dataset.num_edges} edges)")
+    print(f"vocabulary terms with df >= {args.min_df}: {len(vocabulary)}")
+    print(
+        f"precomputed {built} keyword vectors in {elapsed:.2f}s "
+        f"({ranker.build_iterations} power-iteration steps, "
+        f"workers={args.workers or 1})"
+    )
+    return 0
+
+
 def cmd_repl(args: argparse.Namespace) -> int:
     """The ``repro repl`` subcommand."""
     import sys as _sys
@@ -203,6 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive search/explain/feedback shell")
     common(repl)
     repl.set_defaults(func=cmd_repl)
+
+    precompute = sub.add_parser(
+        "precompute", help="build per-keyword vectors offline (blocked engine)"
+    )
+    precompute.add_argument("dataset", help="a name from `repro datasets`")
+    precompute.add_argument("--scale", type=float, default=1.0)
+    precompute.add_argument("--seed", type=int, default=7)
+    precompute.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the blocked build (default: in-process)",
+    )
+    precompute.add_argument(
+        "--min-df", type=int, default=2,
+        help="precompute only terms with document frequency >= N",
+    )
+    precompute.add_argument(
+        "--keywords", nargs="*", default=None,
+        help="explicit keyword list (default: the whole filtered vocabulary)",
+    )
+    precompute.set_defaults(func=cmd_precompute)
 
     serve = sub.add_parser("serve", help="HTTP query service with caching + metrics")
     serve.add_argument(

@@ -103,6 +103,36 @@ class ObjectRankSystem:
         self._explaining_iterations = []
         return self._run(label="initial")
 
+    def adopt_initial(
+        self,
+        query: KeywordQuery | QueryVector | str,
+        result: SearchResult,
+        rates=None,
+    ) -> SearchResult:
+        """Seed the session with an externally computed initial result.
+
+        Batched evaluation (``repro.ranking.batch``) computes many sessions'
+        initial fixpoints in one blocked run; this installs one such result
+        exactly as if :meth:`query` had produced it — feedback iterations and
+        warm starts continue from it unchanged.
+        """
+        self.current_rates = rates if rates is not None else self._initial_schema
+        self.current_vector = self.engine.query_vector(query)
+        self.last_result = result
+        self.timings = [
+            IterationTiming(
+                label="initial",
+                search_seconds=result.elapsed_seconds,
+                subgraph_seconds=0.0,
+                adjust_seconds=0.0,
+                reformulate_seconds=0.0,
+                objectrank_iterations=result.iterations,
+            )
+        ]
+        self._iteration = 0
+        self._explaining_iterations = []
+        return result
+
     def _run(self, label: str) -> SearchResult:
         if self.current_vector is None:
             raise ReproError("no query has been issued yet")

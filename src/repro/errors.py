@@ -77,6 +77,27 @@ class EmptyBaseSetError(ReproError):
         self.keywords = keywords
 
 
+class PrecomputedCoverageError(EmptyBaseSetError):
+    """A precomputed cache covers too little of a query to answer it.
+
+    Subclasses :class:`EmptyBaseSetError` so serving layers that already fall
+    back to live ObjectRank2 on an unanswerable cached query treat partial
+    coverage the same way instead of silently dropping the missing terms.
+    """
+
+    def __init__(
+        self, missing: tuple[str, ...], coverage: float, threshold: float
+    ):
+        ReproError.__init__(
+            self,
+            f"precomputed vectors cover {coverage:.1%} of the query weight "
+            f"(threshold {threshold:.1%}); uncached terms: {missing!r}",
+        )
+        self.keywords = missing
+        self.coverage = coverage
+        self.threshold = threshold
+
+
 class ExplanationError(ReproError):
     """The explaining subgraph could not be built for a target object."""
 

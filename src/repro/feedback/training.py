@@ -25,7 +25,9 @@ from repro.feedback.metrics import cosine_similarity
 from repro.feedback.residual import ResidualCollection
 from repro.feedback.simulated_user import SimulatedUser
 from repro.graph.authority import AuthorityTransferSchemaGraph, EdgeType
-from repro.query.engine import SearchEngine
+from repro.query.engine import SearchEngine, SearchResult
+from repro.ranking.batch import batched_objectrank2
+from repro.ranking.objectrank import global_objectrank
 
 
 @dataclass
@@ -61,6 +63,7 @@ def train_transfer_rates(
     user_seed: int = 0,
     user_noise: float = 0.0,
     radius: int = 3,
+    workers: int | None = None,
 ) -> TrainingCurve:
     """Run the rate-training experiment for one ``C_f`` value.
 
@@ -68,6 +71,13 @@ def train_transfer_rates(
     vector; the returned curve averages the per-session cosine similarities
     (and rate vectors) per iteration.  The ground truth is
     ``dataset.ground_truth_rates``.
+
+    Every session's *initial* evaluation runs against the same matrix (the
+    all-``initial_rate`` schema), so the per-query fixpoints are computed in
+    one blocked run (``repro.ranking.batch``) sharing a single global
+    warm-start vector, instead of one serial power iteration — and one
+    global-ObjectRank recomputation — per query.  ``workers`` spreads the
+    blocked run over a process pool.
     """
     if dataset.ground_truth_rates is None:
         raise ValueError(f"dataset {dataset.name!r} has no ground-truth rates")
@@ -90,15 +100,42 @@ def train_transfer_rates(
         seed=user_seed,
     )
 
+    # Batch the initial evaluations: all sessions start from the same rate
+    # schema (one matrix) and the same global warm start, differing only in
+    # their restart vectors — exactly the blocked engine's shape.
+    query_vectors = [engine.query_vector(query) for query in queries]
+    graph = engine.transfer_view(initial)
+    init = None
+    if config.warm_start and config.global_warm_start:
+        init = global_objectrank(
+            graph, config.damping, config.tolerance, config.max_iterations
+        ).scores
+    initial_ranked = batched_objectrank2(
+        graph,
+        engine.scorer,
+        query_vectors,
+        engine.damping,
+        engine.tolerance,
+        engine.max_iterations,
+        init=init,
+        workers=workers,
+    )
+
     session_vectors: list[list[list[float]]] = []
-    for query in queries:
+    for query_vector, ranked in zip(query_vectors, initial_ranked):
         system = ObjectRankSystem(dataset.data_graph, initial, config, engine=engine)
         residual = ResidualCollection()
         vectors = [initial.as_vector(order)]
-        result = system.query(query)
+        result = system.adopt_initial(
+            query_vector,
+            SearchResult(
+                query_vector, ranked, ranked.top_k(config.top_k), elapsed_seconds=0.0
+            ),
+            rates=initial,
+        )
         for _ in range(iterations):
             presented = residual.present(result.ranked.ranking(), presented_k)
-            marked = user.judge(presented, query)
+            marked = user.judge(presented, query_vector)
             residual.mark_seen(presented)
             outcome = system.feedback(marked)
             result = outcome.result

@@ -53,6 +53,16 @@ class SearchResult:
         return [node_id for node_id, _ in self.top]
 
 
+class _ViewBuild:
+    """Latch for one in-flight ``with_rates`` build (``transfer_view``)."""
+
+    __slots__ = ("done", "view")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.view: AuthorityTransferDataGraph | None = None
+
+
 @dataclass
 class SearchEngine:
     """ObjectRank2 search over one data graph.
@@ -84,6 +94,7 @@ class SearchEngine:
         self.scorer: Scorer = BM25Scorer(self.index)
         self._view_lock = threading.Lock()
         self._views: OrderedDict[tuple, AuthorityTransferDataGraph] = OrderedDict()
+        self._view_builds: dict[tuple, _ViewBuild] = {}
 
     def transfer_view(
         self, rates: AuthorityTransferSchemaGraph | None = None
@@ -96,6 +107,11 @@ class SearchEngine:
         view.  Views are keyed by the canonical rate vector and kept in a
         small LRU so repeated queries of the same feedback session (or the
         same cached serving session) reuse one transition matrix.
+
+        Concurrent misses on the same key are deduplicated by a per-key
+        build latch: exactly one thread materializes the O(edges) view (its
+        rate array and CSR matrix) outside the lock, everyone else waits on
+        the latch and shares the built view instead of clobbering it.
         """
         if rates is None or rates == self.graph.transfer_schema:
             return self.graph
@@ -105,12 +121,38 @@ class SearchEngine:
             if view is not None:
                 self._views.move_to_end(key)
                 return view
-        view = self.graph.with_rates(rates)
+            build = self._view_builds.get(key)
+            if build is None:
+                build = _ViewBuild()
+                self._view_builds[key] = build
+                builder = True
+            else:
+                builder = False
+
+        if not builder:
+            build.done.wait()
+            if build.view is not None:
+                return build.view
+            # The builder failed; retry (and possibly become the builder).
+            return self.transfer_view(rates)
+
+        try:
+            view = self.graph.with_rates(rates)
+        except BaseException:
+            with self._view_lock:
+                self._view_builds.pop(key, None)
+            build.done.set()
+            raise
         with self._view_lock:
             self._views[key] = view
             self._views.move_to_end(key)
             while len(self._views) > self.VIEW_CACHE_SIZE:
                 self._views.popitem(last=False)
+            self._view_builds.pop(key, None)
+        # Waiters read the view off the latch, not the LRU — the entry may
+        # already have been evicted by other keys by the time they wake.
+        build.view = view
+        build.done.set()
         return view
 
     def query_vector(self, query: KeywordQuery | QueryVector | str) -> QueryVector:

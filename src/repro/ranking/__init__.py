@@ -1,6 +1,13 @@
 """Authority-flow ranking: PageRank, ObjectRank, ObjectRank2 and baselines
 (Section 3, Equations 4 and 16)."""
 
+from repro.ranking.batch import (
+    BatchedPowerIterationResult,
+    batched_keyword_vectors,
+    batched_objectrank,
+    batched_objectrank2,
+    batched_power_iteration,
+)
 from repro.ranking.compare import RankChange, RankingDelta, ranking_delta
 from repro.ranking.convergence import PowerIterationResult, RankedResult
 from repro.ranking.focused import FocusedResult, focused_neighborhood, focused_objectrank2
@@ -22,12 +29,14 @@ from repro.ranking.pagerank import (
     pagerank,
     personalized_pagerank,
     power_iteration,
+    restart_distribution,
 )
 from repro.ranking.precompute import PrecomputedRanker
 from repro.ranking.topk import objectrank2_topk
 from repro.ranking.topic_sensitive import TopicSensitiveRanker
 
 __all__ = [
+    "BatchedPowerIterationResult",
     "DEFAULT_DAMPING",
     "DEFAULT_MAX_ITERATIONS",
     "DEFAULT_TOLERANCE",
@@ -40,6 +49,10 @@ __all__ = [
     "RankingDelta",
     "TopicSensitiveRanker",
     "base_set",
+    "batched_keyword_vectors",
+    "batched_objectrank",
+    "batched_objectrank2",
+    "batched_power_iteration",
     "focused_neighborhood",
     "focused_objectrank2",
     "global_objectrank",
@@ -55,5 +68,6 @@ __all__ = [
     "personalized_pagerank",
     "power_iteration",
     "ranking_delta",
+    "restart_distribution",
     "weighted_base_set",
 ]

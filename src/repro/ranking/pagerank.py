@@ -74,6 +74,30 @@ def pagerank(
     return power_iteration(matrix, restart, damping, tolerance, max_iterations)
 
 
+def restart_distribution(
+    n: int,
+    restart_nodes: np.ndarray,
+    restart_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """The normalized restart vector over ``restart_nodes``.
+
+    A node index appearing more than once (e.g. a base-set object matched by
+    two keywords) *accumulates* its weight — ``np.add.at`` instead of fancy
+    assignment, which would silently keep only the last occurrence's weight.
+    """
+    restart = np.zeros(n)
+    nodes = np.asarray(restart_nodes, dtype=np.int64)
+    if restart_weights is None:
+        np.add.at(restart, nodes, 1.0)
+    else:
+        np.add.at(restart, nodes, np.asarray(restart_weights, dtype=np.float64))
+    total = restart.sum()
+    if total <= 0:
+        raise ValueError("restart distribution is empty or non-positive")
+    restart /= total
+    return restart
+
+
 def personalized_pagerank(
     matrix: sparse.spmatrix,
     restart_nodes: np.ndarray,
@@ -86,16 +110,7 @@ def personalized_pagerank(
     """PageRank with restarts confined to ``restart_nodes``.
 
     ``restart_weights`` (default uniform) is normalized to sum to one — the
-    paper's base-set probabilities.
+    paper's base-set probabilities.  Duplicate node indices accumulate weight.
     """
-    n = matrix.shape[0]
-    restart = np.zeros(n)
-    if restart_weights is None:
-        restart[restart_nodes] = 1.0
-    else:
-        restart[restart_nodes] = restart_weights
-    total = restart.sum()
-    if total <= 0:
-        raise ValueError("restart distribution is empty or non-positive")
-    restart /= total
+    restart = restart_distribution(matrix.shape[0], restart_nodes, restart_weights)
     return power_iteration(matrix, restart, damping, tolerance, max_iterations, init)

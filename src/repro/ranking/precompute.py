@@ -6,6 +6,12 @@ faster hardware, *precompute ObjectRank2 values as in [BHP04]*, or define
 focused subsets.  This module implements the precomputation remedy: one
 authority vector per index keyword, computed offline, combined at query time.
 
+The offline build runs every keyword's fixpoint through the blocked engine of
+:mod:`repro.ranking.batch` — one pass over the CSR matrix advances the whole
+vocabulary at once, and ``workers`` spreads the block over a process pool —
+instead of one serial power iteration per keyword.  Each vector is identical
+to the serial computation.
+
 Combination at query time follows the same weighted-base-set idea as
 ObjectRank2: per-keyword vectors are blended linearly with weights
 proportional to the query-vector weight times the keyword's idf — a standard
@@ -20,14 +26,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import EmptyBaseSetError
+from repro.errors import EmptyBaseSetError, PrecomputedCoverageError
 from repro.graph.authority import AuthorityTransferSchemaGraph
 from repro.graph.transfer_graph import AuthorityTransferDataGraph
 from repro.ir.index import InvertedIndex
 from repro.ir.scoring import BM25Scorer
 from repro.query.query import QueryVector
+from repro.ranking.batch import batched_keyword_vectors
 from repro.ranking.convergence import RankedResult
-from repro.ranking.objectrank import objectrank
 from repro.ranking.pagerank import (
     DEFAULT_DAMPING,
     DEFAULT_MAX_ITERATIONS,
@@ -40,7 +46,11 @@ class PrecomputedRanker:
 
     ``keywords=None`` precomputes every index term whose document frequency
     is at least ``min_document_frequency`` (rare terms are cheap to run
-    on the fly and bloat the cache).
+    on the fly and bloat the cache).  ``workers`` parallelizes the offline
+    build over a process pool; ``min_coverage`` is the fraction of a query's
+    positive term weight that must be cached for :meth:`rank` to answer —
+    below it the ranker raises instead of silently dropping the uncached
+    terms (the default ``1.0`` answers only fully covered queries).
     """
 
     def __init__(
@@ -52,10 +62,15 @@ class PrecomputedRanker:
         damping: float = DEFAULT_DAMPING,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        workers: int | None = None,
+        min_coverage: float = 1.0,
     ) -> None:
+        if not 0.0 <= min_coverage <= 1.0:
+            raise ValueError(f"min_coverage must be in [0, 1], got {min_coverage}")
         self.graph = graph
         self.index = index
         self.damping = damping
+        self.min_coverage = min_coverage
         self._scorer = BM25Scorer(index)
         self._rates_snapshot = graph.transfer_schema.copy()
         if keywords is None:
@@ -64,14 +79,16 @@ class PrecomputedRanker:
                 for term in index.vocabulary()
                 if index.document_frequency(term) >= min_document_frequency
             ]
-        self._vectors: dict[str, np.ndarray] = {}
-        for keyword in keywords:
-            base = index.documents_with_term(keyword)
-            if not base:
-                continue
-            self._vectors[keyword] = objectrank(
-                graph, base, damping, tolerance, max_iterations
-            ).scores
+        built = batched_keyword_vectors(
+            graph, index, keywords, damping, tolerance, max_iterations,
+            workers=workers,
+        )
+        self._vectors: dict[str, np.ndarray] = {
+            keyword: result.scores for keyword, result in built.items()
+        }
+        self.build_iterations = int(
+            sum(result.iterations for result in built.values())
+        )
 
     # -- cache inspection ------------------------------------------------------
 
@@ -81,6 +98,21 @@ class PrecomputedRanker:
 
     def has_keyword(self, keyword: str) -> bool:
         return keyword in self._vectors
+
+    def coverage(self, query_vector: QueryVector) -> float:
+        """Fraction of the query's positive term weight that is cached."""
+        considered = [
+            (term, query_vector.weight(term))
+            for term in query_vector.terms
+            if query_vector.weight(term) > 0
+        ]
+        total = sum(weight for _, weight in considered)
+        if total <= 0:
+            return 0.0
+        cached = sum(
+            weight for term, weight in considered if term in self._vectors
+        )
+        return cached / total
 
     def is_stale(self, rates: AuthorityTransferSchemaGraph | None = None) -> bool:
         """Whether the cache no longer matches the (possibly learned) rates.
@@ -97,24 +129,41 @@ class PrecomputedRanker:
     def rank(self, query_vector: QueryVector) -> RankedResult:
         """Blend precomputed vectors for the query's cached keywords.
 
-        Keywords without a cached vector are skipped; if none remain the
-        query cannot be answered from the cache and
-        :class:`~repro.errors.EmptyBaseSetError` is raised (callers fall back
-        to on-the-fly ObjectRank2).
+        If no positive-weight keyword is cached the query cannot be answered
+        at all and :class:`~repro.errors.EmptyBaseSetError` is raised; if the
+        cached fraction of the query weight is positive but below
+        ``min_coverage`` (e.g. content-based reformulation added expansion
+        terms the cache never saw), :class:`~repro.errors.PrecomputedCoverageError`
+        is raised instead of silently ignoring the uncached terms.  Callers
+        fall back to on-the-fly ObjectRank2 in both cases.  The achieved
+        coverage fraction is reported on the result.
         """
         blended = np.zeros(self.graph.num_nodes)
         total_weight = 0.0
         matched: dict[str, float] = {}
+        missing: list[str] = []
+        considered_weight = 0.0
+        covered_weight = 0.0
         for term in query_vector.terms:
             weight = query_vector.weight(term)
-            if weight <= 0 or term not in self._vectors:
+            if weight <= 0:
                 continue
+            considered_weight += weight
+            if term not in self._vectors:
+                missing.append(term)
+                continue
+            covered_weight += weight
             blend_weight = weight * max(self._scorer.idf(term), 1e-6)
             blended += blend_weight * self._vectors[term]
             total_weight += blend_weight
             matched[term] = blend_weight
         if total_weight == 0.0:
             raise EmptyBaseSetError(tuple(query_vector.terms))
+        coverage = covered_weight / considered_weight
+        if coverage < self.min_coverage:
+            raise PrecomputedCoverageError(
+                tuple(missing), coverage, self.min_coverage
+            )
         blended /= total_weight
         return RankedResult(
             node_ids=self.graph.node_ids,
@@ -122,4 +171,5 @@ class PrecomputedRanker:
             iterations=0,  # query time does no power iteration
             converged=True,
             base_weights={t: w / total_weight for t, w in matched.items()},
+            coverage=coverage,
         )

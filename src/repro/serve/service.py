@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.config import DEFAULT_RADIUS
 from repro.datasets import load_dataset
 from repro.datasets.base import Dataset
-from repro.errors import EmptyBaseSetError, ReproError
+from repro.errors import EmptyBaseSetError, PrecomputedCoverageError, ReproError
 from repro.explain.adjustment import adjust_flows
 from repro.explain.subgraph import build_explaining_subgraph
 from repro.graph.authority import AuthorityTransferSchemaGraph
@@ -92,6 +92,15 @@ class ServeConfig:
     precompute: bool = True
     precompute_min_document_frequency: int = 2
     precompute_keywords: tuple[str, ...] | None = None
+    #: Worker processes for the blocked per-keyword build (None = in-process).
+    precompute_workers: int | None = None
+    #: Fraction of a query's term weight the precomputed cache must cover to
+    #: answer it; below this the request falls back to live ObjectRank2.
+    precompute_min_coverage: float = 1.0
+    #: Rebuild the per-keyword vectors under the learned rates after an
+    #: applied reformulation (blocks the reformulation request, restores the
+    #: precomputed fast path for everyone else).
+    precompute_rebuild: bool = False
     max_concurrency: int = 8
     deadline_seconds: float = 30.0
 
@@ -135,21 +144,43 @@ class DatasetRuntime:
             return None
         with self._precompute_lock:
             if not self._precompute_built:
-                keywords = (
-                    list(self.config.precompute_keywords)
-                    if self.config.precompute_keywords is not None
-                    else None
-                )
-                self._precomputed = PrecomputedRanker(
-                    self.engine.graph,
-                    self.engine.index,
-                    keywords=keywords,
-                    min_document_frequency=(
-                        self.config.precompute_min_document_frequency
-                    ),
-                )
+                self._precomputed = self._build_precomputed(self.engine.graph)
                 self._precompute_built = True
             return self._precomputed
+
+    def rebuild_precomputed(self) -> PrecomputedRanker | None:
+        """Rebuild the per-keyword vectors under the current serving rates.
+
+        A structure-based reformulation leaves the precomputed cache stale;
+        rebuilding it (one blocked run over the vocabulary, see
+        :mod:`repro.ranking.batch`) restores the precomputed fast path
+        instead of routing all traffic to live ObjectRank2 forever.  The
+        rebuild happens outside the lock — readers keep using the stale
+        ranker's staleness check (and the live path) until the swap.
+        """
+        if not self.config.precompute:
+            return None
+        graph = self.engine.transfer_view(self.rates)
+        ranker = self._build_precomputed(graph)
+        with self._precompute_lock:
+            self._precomputed = ranker
+            self._precompute_built = True
+        return ranker
+
+    def _build_precomputed(self, graph) -> PrecomputedRanker:
+        keywords = (
+            list(self.config.precompute_keywords)
+            if self.config.precompute_keywords is not None
+            else None
+        )
+        return PrecomputedRanker(
+            graph,
+            self.engine.index,
+            keywords=keywords,
+            min_document_frequency=self.config.precompute_min_document_frequency,
+            workers=self.config.precompute_workers,
+            min_coverage=self.config.precompute_min_coverage,
+        )
 
 
 class QueryService:
@@ -302,6 +333,13 @@ class QueryService:
                 try:
                     ranked = ranker.rank(vector)
                     served_from = "precomputed"
+                except PrecomputedCoverageError as error:
+                    if mode == "precomputed":
+                        raise ReproError(
+                            f"precomputed mode unavailable: {error}"
+                        ) from error
+                    # auto: partial coverage falls back to live ObjectRank2,
+                    # which ranks with *every* query term.
                 except EmptyBaseSetError:
                     if mode == "precomputed":
                         ranked = RankedResult([], _EMPTY_SCORES, 0, True)
@@ -339,6 +377,7 @@ class QueryService:
             ],
             "iterations": ranked.iterations,
             "converged": ranked.converged,
+            "coverage": ranked.coverage,
         }
         # A forced-precomputed request the ranker could not answer yields an
         # empty payload that auto traffic would answer live — never cache it.
@@ -461,6 +500,10 @@ class QueryService:
             runtime.apply_rates(reformulated.transfer_schema)
             invalidated = self.cache.invalidate(dataset)
             self._invalidations.inc(invalidated)
+            if self.config.precompute_rebuild:
+                # One blocked run over the vocabulary restores the
+                # precomputed fast path under the learned rates.
+                runtime.rebuild_precomputed()
 
         if deadline is not None:
             deadline.check("reformulated search")

@@ -154,6 +154,79 @@ class TestRatesIsolation:
         assert engine.transfer_view(None) is engine.graph
         assert engine.transfer_view(dblp_transfer_schema()) is engine.graph
 
+    def test_concurrent_misses_build_one_view(self, engine):
+        """Regression: two threads missing on the same rate key used to both
+        materialize ``with_rates`` views (an O(edges) build and a CSR matrix
+        each), with the second insert clobbering the first.  The per-key
+        build latch must deduplicate them to exactly one build."""
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        num_threads = 6
+        build_calls = []
+        entered = threading.Barrier(num_threads + 1, timeout=10)
+        release = threading.Event()
+        real_with_rates = engine.graph.with_rates
+
+        def slow_with_rates(rates):
+            build_calls.append(rates)
+            release.wait(timeout=10)
+            return real_with_rates(rates)
+
+        engine.graph.with_rates = slow_with_rates
+        try:
+            rates = dblp_transfer_schema(self.NO_CITES)
+
+            def request():
+                entered.wait()
+                return engine.transfer_view(dblp_transfer_schema(self.NO_CITES))
+
+            with ThreadPoolExecutor(max_workers=num_threads) as pool:
+                futures = [pool.submit(request) for _ in range(num_threads)]
+                entered.wait()  # all threads in flight before the build ends
+                release.set()
+                views = [future.result(timeout=10) for future in futures]
+        finally:
+            engine.graph.with_rates = real_with_rates
+
+        assert len(build_calls) == 1
+        assert all(view is views[0] for view in views)
+        assert engine.transfer_view(rates) is views[0]
+
+    def test_builder_failure_releases_waiters(self, engine):
+        """A failed build must not deadlock waiters on the latch."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        real_with_rates = engine.graph.with_rates
+        calls = []
+
+        def failing_with_rates(rates):
+            calls.append(rates)
+            if len(calls) == 1:
+                raise RuntimeError("simulated build failure")
+            return real_with_rates(rates)
+
+        engine.graph.with_rates = failing_with_rates
+        try:
+            rates = dblp_transfer_schema(self.NO_CITES)
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [
+                    pool.submit(engine.transfer_view, rates) for _ in range(3)
+                ]
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(future.result(timeout=10))
+                    except RuntimeError:
+                        outcomes.append(None)
+            views = [view for view in outcomes if view is not None]
+            # The failing builder raised; every other thread either retried
+            # into a successful build or waited for one.
+            assert views
+            assert all(view is views[0] for view in views)
+        finally:
+            engine.graph.with_rates = real_with_rates
+
 
 class TestLabelFilter:
     def test_only_requested_labels_returned(self, engine):

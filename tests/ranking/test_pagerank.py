@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from scipy import sparse
 
-from repro.ranking import pagerank, personalized_pagerank, power_iteration
+from repro.ranking import (
+    pagerank,
+    personalized_pagerank,
+    power_iteration,
+    restart_distribution,
+)
 
 
 def cycle_matrix(n: int) -> sparse.csr_matrix:
@@ -104,3 +109,28 @@ class TestPersonalized:
         matrix = cycle_matrix(4)
         with pytest.raises(ValueError):
             personalized_pagerank(matrix, np.asarray([0]), np.asarray([0.0]))
+
+    def test_duplicate_restart_nodes_accumulate(self):
+        """Regression: a node listed twice (e.g. a base-set object matched by
+        two keywords) must accumulate both weights, not keep only the last
+        one (the old fancy-assignment behavior)."""
+        matrix = cycle_matrix(6)
+        duplicated = personalized_pagerank(
+            matrix,
+            np.asarray([0, 0, 1]),
+            np.asarray([0.3, 0.3, 0.4]),
+            tolerance=1e-12,
+        )
+        merged = personalized_pagerank(
+            matrix, np.asarray([0, 1]), np.asarray([0.6, 0.4]), tolerance=1e-12
+        )
+        assert duplicated.scores == pytest.approx(merged.scores, abs=1e-12)
+        # The buggy last-write-wins distribution is measurably different.
+        last_write_wins = personalized_pagerank(
+            matrix, np.asarray([0, 1]), np.asarray([0.3, 0.4]), tolerance=1e-12
+        )
+        assert np.abs(duplicated.scores - last_write_wins.scores).max() > 1e-3
+
+    def test_duplicate_uniform_restarts_accumulate(self):
+        distribution = restart_distribution(4, np.asarray([0, 0, 1]))
+        assert distribution == pytest.approx(np.asarray([2 / 3, 1 / 3, 0.0, 0.0]))

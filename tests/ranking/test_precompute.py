@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets import dblp_transfer_schema
-from repro.errors import EmptyBaseSetError
+from repro.errors import EmptyBaseSetError, PrecomputedCoverageError
 from repro.query import QueryVector
 from repro.ranking import PrecomputedRanker, keyword_objectrank
 
@@ -67,6 +67,78 @@ class TestQueryAnswering:
     def test_zero_weight_terms_ignored(self, ranker):
         with pytest.raises(EmptyBaseSetError):
             ranker.rank(QueryVector({"olap": 0.0}))
+
+
+class TestCoverage:
+    """Regression: uncached terms must not be silently dropped (e.g. the
+    expansion terms a content-based reformulation adds)."""
+
+    def test_partial_coverage_raises_by_default(self, figure1_graph, figure1_index):
+        ranker = PrecomputedRanker(figure1_graph, figure1_index, keywords=["olap"])
+        with pytest.raises(PrecomputedCoverageError) as excinfo:
+            ranker.rank(QueryVector({"olap": 1.0, "multidimensional": 1.0}))
+        assert excinfo.value.keywords == ("multidimensional",)
+        assert excinfo.value.coverage == pytest.approx(0.5)
+
+    def test_partial_coverage_error_is_empty_base_set_error(
+        self, figure1_graph, figure1_index
+    ):
+        """Serving layers catching EmptyBaseSetError fall back to live."""
+        ranker = PrecomputedRanker(figure1_graph, figure1_index, keywords=["olap"])
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"olap": 1.0, "multidimensional": 1.0}))
+
+    def test_threshold_admits_partial_coverage(self, figure1_graph, figure1_index):
+        ranker = PrecomputedRanker(
+            figure1_graph, figure1_index, keywords=["olap"], min_coverage=0.5
+        )
+        result = ranker.rank(QueryVector({"olap": 2.0, "multidimensional": 1.0}))
+        assert result.coverage == pytest.approx(2 / 3)
+
+    def test_full_coverage_reports_one(self, ranker):
+        result = ranker.rank(QueryVector({"olap": 1.0}))
+        assert result.coverage == 1.0
+
+    def test_coverage_helper(self, figure1_graph, figure1_index):
+        ranker = PrecomputedRanker(figure1_graph, figure1_index, keywords=["olap"])
+        assert ranker.coverage(QueryVector({"olap": 1.0})) == 1.0
+        assert ranker.coverage(
+            QueryVector({"olap": 1.0, "multidimensional": 3.0})
+        ) == pytest.approx(0.25)
+        assert ranker.coverage(QueryVector({"olap": 0.0})) == 0.0
+
+    def test_invalid_threshold_rejected(self, figure1_graph, figure1_index):
+        with pytest.raises(ValueError):
+            PrecomputedRanker(
+                figure1_graph, figure1_index, keywords=["olap"], min_coverage=1.5
+            )
+
+    def test_fully_uncached_query_still_empty_base_set(self, ranker):
+        """A query with no cached term at all keeps the original error."""
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"notaword": 1.0}))
+
+
+class TestBatchedBuild:
+    def test_workers_build_matches_serial_build(self, figure1_graph, figure1_index):
+        import numpy as np
+
+        serial = PrecomputedRanker(
+            figure1_graph, figure1_index, min_document_frequency=1, tolerance=1e-10
+        )
+        pooled = PrecomputedRanker(
+            figure1_graph,
+            figure1_index,
+            min_document_frequency=1,
+            tolerance=1e-10,
+            workers=3,
+        )
+        assert serial.keywords == pooled.keywords
+        for keyword in serial.keywords:
+            assert np.abs(
+                serial._vectors[keyword] - pooled._vectors[keyword]
+            ).max() <= 1e-12
+        assert serial.build_iterations == pooled.build_iterations
 
 
 class TestStaleness:

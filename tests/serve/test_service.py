@@ -194,6 +194,98 @@ class TestReformulationInvalidation:
         assert service.search("fig1", "OLAP")["served_from"] == "live"
 
 
+class TestCoverageFallback:
+    """Regression: a precomputed answer must never silently drop uncached
+    query terms — partial coverage routes auto traffic back to live."""
+
+    @pytest.fixture
+    def partial_service(self, figure1):
+        return QueryService(
+            ServeConfig(datasets=("fig1",), precompute_keywords=("olap",)),
+            datasets={"fig1": figure1},
+        )
+
+    def test_auto_falls_back_to_live_on_partial_coverage(self, partial_service):
+        response = partial_service.search("fig1", "OLAP multidimensional")
+        assert response["served_from"] == "live"
+        assert response["iterations"] > 0
+        assert response["coverage"] == 1.0  # live ranks with every term
+
+    def test_forced_precomputed_reports_partial_coverage(self, partial_service):
+        with pytest.raises(ReproError, match="cover"):
+            partial_service.search(
+                "fig1", "OLAP multidimensional", mode="precomputed"
+            )
+
+    def test_threshold_admits_partial_coverage(self, figure1):
+        service = QueryService(
+            ServeConfig(
+                datasets=("fig1",),
+                precompute_keywords=("olap",),
+                precompute_min_coverage=0.5,
+            ),
+            datasets={"fig1": figure1},
+        )
+        response = service.search("fig1", "OLAP multidimensional")
+        assert response["served_from"] == "precomputed"
+        assert response["coverage"] == pytest.approx(0.5)
+
+    def test_fully_covered_query_stays_precomputed(self, partial_service):
+        response = partial_service.search("fig1", "OLAP")
+        assert response["served_from"] == "precomputed"
+        assert response["coverage"] == 1.0
+
+
+class TestPrecomputeRebuild:
+    """With ``precompute_rebuild`` on, an applied reformulation rebuilds the
+    per-keyword vectors under the learned rates instead of abandoning the
+    precomputed fast path."""
+
+    @pytest.fixture
+    def rebuild_service(self, figure1):
+        return QueryService(
+            ServeConfig(
+                datasets=("fig1",),
+                precompute_min_document_frequency=1,
+                precompute_rebuild=True,
+            ),
+            datasets={"fig1": figure1},
+        )
+
+    def test_reformulation_restores_precomputed_path(self, rebuild_service):
+        assert rebuild_service.search("fig1", "OLAP")["served_from"] == "precomputed"
+        outcome = rebuild_service.feedback_reformulate("fig1", "OLAP", ["v4"])
+        assert outcome["applied"] is True
+        assert outcome["precomputed_stale"] is False
+
+        after = rebuild_service.search("fig1", "OLAP")
+        assert after["served_from"] == "precomputed"
+        assert after["iterations"] == 0
+
+    def test_rebuilt_vectors_use_learned_rates(self, rebuild_service, figure1):
+        before = rebuild_service.search("fig1", "OLAP")
+        rebuild_service.feedback_reformulate("fig1", "OLAP", ["v4"])
+        after = rebuild_service.search("fig1", "OLAP")
+        runtime = rebuild_service.runtime("fig1")
+        assert runtime.rates != figure1.transfer_schema
+
+        from repro.ranking import keyword_objectrank
+
+        view = runtime.engine.transfer_view(runtime.rates)
+        exact = keyword_objectrank(view, runtime.engine.index, "olap")
+        expected = exact.top_k(len(after["results"]))
+        assert [r["id"] for r in after["results"]] == [nid for nid, _ in expected]
+        assert [r["score"] for r in after["results"]] == pytest.approx(
+            [score for _, score in expected], abs=1e-8
+        )
+        assert before["results"] != after["results"]
+
+    def test_without_rebuild_flag_path_stays_live(self, service):
+        service.search("fig1", "OLAP")
+        service.feedback_reformulate("fig1", "OLAP", ["v4"])
+        assert service.search("fig1", "OLAP")["served_from"] == "live"
+
+
 class TestHealthAndMetrics:
     def test_health_reports_datasets_and_cache(self, live_service):
         live_service.search("fig1", "OLAP")

@@ -22,6 +22,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["feedback", "dblp_tiny", "olap"])
 
+    def test_precompute_args(self):
+        args = build_parser().parse_args(
+            ["precompute", "dblp_tiny", "--workers", "4", "--min-df", "1"]
+        )
+        assert args.dataset == "dblp_tiny"
+        assert args.workers == 4
+        assert args.min_df == 1
+        assert args.keywords is None
+
+    def test_precompute_defaults(self):
+        args = build_parser().parse_args(["precompute", "dblp_tiny"])
+        assert args.workers is None
+        assert args.min_df == 2
+
 
 class TestCommands:
     def test_datasets_lists_names(self, capsys):
@@ -67,3 +81,20 @@ class TestCommands:
     def test_feedback_mark_out_of_range(self, capsys):
         code = main(["feedback", "dblp_tiny", "olap", "--top-k", "3", "--mark", "99"])
         assert code == 1
+
+    def test_precompute_builds_vectors(self, capsys):
+        code = main(["precompute", "dblp_tiny", "--min-df", "1", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "precomputed" in out
+        assert "keyword vectors" in out
+        assert "workers=2" in out
+
+    def test_precompute_explicit_keywords(self, capsys):
+        code = main(["precompute", "dblp_tiny", "--keywords", "olap"])
+        assert code == 0
+        assert "precomputed 1 keyword vectors" in capsys.readouterr().out
+
+    def test_precompute_unknown_dataset_fails_cleanly(self, capsys):
+        assert main(["precompute", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
