@@ -1,0 +1,87 @@
+"""Runtime of the ``repro lint`` invariant analyzer over ``src/``.
+
+The lint CI job carries a hard budget — no caching, well under ten seconds —
+so this benchmark records what the analyzer actually costs on the current
+tree (files scanned, findings kept/baselined/suppressed, wall time, and a
+per-checker breakdown) in ``benchmarks/results/lint.txt``.  Future PRs that
+add checkers or grow the tree can see at a glance whether checker cost
+regressed.
+
+Run directly or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint.py -s
+
+Unlike the ranking benchmarks this one needs no numpy and no dataset — the
+analyzer is stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make `benchmarks.` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import write_result
+
+from repro.analysis import all_checkers, load_baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: The CI budget the lint job promises ("must run in <10s", ISSUE 3).
+BUDGET_SECONDS = 10.0
+#: Timed repetitions; the reported wall time is the best of these.
+REPEATS = 3
+
+
+def run_benchmark() -> str:
+    baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    src = REPO_ROOT / "src"
+
+    best = None
+    report = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        report = run_lint([src], baseline=baseline, root=REPO_ROOT)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+
+    per_checker: list[tuple[str, float, int]] = []
+    for code in report.checker_codes:
+        started = time.perf_counter()
+        only = run_lint([src], checkers=all_checkers([code]), root=REPO_ROOT)
+        per_checker.append(
+            (code, time.perf_counter() - started, len(only.findings))
+        )
+
+    lines = [
+        f"repro lint over src/ — {report.files_scanned} files, "
+        f"{len(report.checker_codes)} checkers (best of {REPEATS})",
+        f"  wall time            : {best * 1000:8.1f} ms   "
+        f"(CI budget {BUDGET_SECONDS:.0f} s)",
+        f"  new findings         : {len(report.findings):5d}",
+        f"  baselined            : {len(report.baselined):5d}",
+        f"  pragma-suppressed    : {len(report.suppressed):5d}",
+        f"  parse errors         : {len(report.parse_errors):5d}",
+        "  per-checker (full pass incl. parse):",
+    ]
+    for code, seconds, raw_findings in per_checker:
+        lines.append(
+            f"    {code}: {seconds * 1000:7.1f} ms   "
+            f"{raw_findings} non-baselined finding(s)"
+        )
+    return "\n".join(lines)
+
+
+def test_lint_runtime_within_ci_budget():
+    """Pytest entry: the analyzer stays inside the CI job's time budget."""
+    text = run_benchmark()
+    write_result("lint", text)
+    wall_ms = float(text.splitlines()[1].split(":")[1].split("ms")[0])
+    assert wall_ms / 1000.0 < BUDGET_SECONDS
+
+
+if __name__ == "__main__":
+    write_result("lint", run_benchmark())

@@ -27,15 +27,51 @@ Quickstart::
     outcome = system.feedback([result.top[0][0]])
 """
 
-from repro.core.config import SystemConfig
-from repro.core.system import FeedbackOutcome, ObjectRankSystem
-from repro.datasets.registry import load_dataset
+from typing import TYPE_CHECKING
+
 from repro.errors import ReproError
-from repro.explain import explain
-from repro.query.engine import SearchEngine, SearchResult
-from repro.query.query import KeywordQuery, QueryVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing-time eager imports
+    from repro.core.config import SystemConfig
+    from repro.core.system import FeedbackOutcome, ObjectRankSystem
+    from repro.datasets.registry import load_dataset
+    from repro.explain import explain
+    from repro.query.engine import SearchEngine, SearchResult
+    from repro.query.query import KeywordQuery, QueryVector
 
 __version__ = "1.0.0"
+
+#: Lazy re-exports (PEP 562): attribute name -> defining module.  Keeping the
+#: package root import-light means stdlib-only tooling built on subpackages —
+#: ``repro lint`` in a bare CI job, most prominently — never pays for (or
+#: requires) numpy/scipy, which the ranking stack needs but the analyzer
+#: does not.
+_LAZY_EXPORTS = {
+    "SystemConfig": "repro.core.config",
+    "FeedbackOutcome": "repro.core.system",
+    "ObjectRankSystem": "repro.core.system",
+    "load_dataset": "repro.datasets.registry",
+    "explain": "repro.explain",
+    "SearchEngine": "repro.query.engine",
+    "SearchResult": "repro.query.engine",
+    "KeywordQuery": "repro.query.query",
+    "QueryVector": "repro.query.query",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
 
 __all__ = [
     "FeedbackOutcome",

@@ -1,0 +1,61 @@
+"""Project-specific static analysis: the invariant linter behind ``repro lint``.
+
+Every silent-correctness bug fixed in PR 2 — the last-write-wins fancy
+indexing in ``personalized_pagerank``, the ``transfer_view`` build-once
+latch, the shared-rates mutation in ``SearchEngine`` — belongs to a
+statically detectable pattern class.  This package encodes those classes as
+AST checkers (RL001–RL006, see :mod:`repro.analysis.checkers`) so the next
+occurrence is caught in review, not in production rankings.
+
+Layers:
+
+* :mod:`repro.analysis.findings` — the :class:`Finding` record;
+* :mod:`repro.analysis.base` — the checker plugin API and registry;
+* :mod:`repro.analysis.pragmas` — ``# repro-lint: ignore[RL001]`` inline
+  suppressions;
+* :mod:`repro.analysis.baseline` — the ``.repro-lint-baseline.json``
+  accepted-findings file;
+* :mod:`repro.analysis.runner` — file discovery and the lint driver;
+* :mod:`repro.analysis.reporting` — text / JSON / GitHub-annotation output.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    SourceFile,
+    all_checkers,
+    checker_codes,
+    register,
+)
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas
+from repro.analysis.reporting import FORMATS, render
+from repro.analysis.runner import LintReport, discover_files, lint_source, run_lint
+
+__all__ = [
+    "Checker",
+    "SourceFile",
+    "all_checkers",
+    "checker_codes",
+    "register",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "save_baseline",
+    "Finding",
+    "PragmaIndex",
+    "parse_pragmas",
+    "FORMATS",
+    "render",
+    "LintReport",
+    "discover_files",
+    "lint_source",
+    "run_lint",
+]

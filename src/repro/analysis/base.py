@@ -1,0 +1,159 @@
+"""The checker plugin API: :class:`SourceFile`, :class:`Checker`, registry.
+
+A checker is a class with a ``code`` (``RL001``..), a one-line ``summary``
+and a :meth:`Checker.check` that yields :class:`~repro.analysis.findings.Finding`
+objects for one parsed module.  Checkers register themselves with
+:func:`register` at import time; :func:`all_checkers` instantiates the full
+set (optionally filtered by code) for a run.
+
+The framework hands every checker a :class:`SourceFile` — the path, raw
+text, split lines and parsed AST — so checkers can combine tree-level
+analysis with line-level context (e.g. the ``#: guarded by self._lock``
+annotations of RL003 live in comments the AST does not carry).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class SourceFile:
+    """One module under analysis: path, text, lines and parsed tree."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        return cls(path=path, text=text, tree=tree, lines=text.splitlines())
+
+    def line_at(self, lineno: int) -> str:
+        """The 1-based source line, or ``""`` past EOF (synthetic nodes)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Checker:
+    """Base class for one rule; subclasses set the class attributes."""
+
+    #: Rule code, e.g. ``"RL001"`` — what pragmas and baselines reference.
+    code: str = ""
+    #: Short name used in reports, e.g. ``duplicate-index-write``.
+    name: str = ""
+    #: One-line description of the hazard class the rule targets.
+    summary: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        message: str,
+        suggestion: str = "",
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node`` with fingerprint context."""
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            file=source.path,
+            line=lineno,
+            code=self.code,
+            message=message,
+            suggestion=suggestion,
+            column=getattr(node, "col_offset", 0),
+            source_line=source.line_at(lineno),
+        )
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(checker_class: Type[Checker]) -> Type[Checker]:
+    """Class decorator: add a checker to the global registry (keyed by code)."""
+    code = checker_class.code
+    if not code:
+        raise ValueError(f"{checker_class.__name__} has no rule code")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not checker_class:
+        raise ValueError(f"rule code {code} registered twice")
+    _REGISTRY[code] = checker_class
+    return checker_class
+
+
+def checker_codes() -> list[str]:
+    """All registered rule codes, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_checkers(select: Iterable[str] | None = None) -> list[Checker]:
+    """Instantiate registered checkers, optionally only the ``select`` codes."""
+    _ensure_builtins()
+    if select is None:
+        wanted = sorted(_REGISTRY)
+    else:
+        wanted = list(select)
+        unknown = [code for code in wanted if code not in _REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown rule codes: {', '.join(unknown)}; "
+                f"registered: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[code]() for code in wanted]
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in checker package so registration has happened."""
+    import repro.analysis.checkers  # noqa: F401  (import for side effect)
+
+
+# -- shared AST helpers used by several checkers ------------------------------
+
+
+def is_self_attribute(node: ast.AST, attr: str | None = None) -> bool:
+    """Whether ``node`` is ``self.<attr>`` (any attribute when ``attr=None``)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target: ``np.add.at`` -> ``"np.add.at"``."""
+    parts: list[str] = []
+    target: ast.AST = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    elif parts:
+        # A non-name head (call/subscript); keep the attribute chain only.
+        pass
+    return ".".join(reversed(parts))
+
+
+def literal_number(node: ast.AST) -> float | None:
+    """The numeric value of a literal (including ``-x``), else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    return None

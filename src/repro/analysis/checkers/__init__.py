@@ -1,0 +1,35 @@
+"""Built-in checkers; importing this package registers RL001–RL006.
+
+============ ========================== =====================================
+Code         Name                       Hazard class
+============ ========================== =====================================
+``RL001``    duplicate-index-write      numpy fancy-indexing writes that keep
+                                        only the last duplicate index
+``RL002``    stale-cache-latch          build-once latches whose inputs change
+                                        without invalidation
+``RL003``    lock-discipline            guarded attributes touched outside
+                                        their ``with self._lock:`` block
+``RL004``    caller-owned-mutation      in-place mutation of dict/array
+                                        parameters that were never copied
+``RL005``    float-equality             exact ``==``/``!=`` against float
+                                        literals in numeric code
+``RL006``    transfer-rate-invariant    negative or non-normalized literal
+                                        transfer rates at schema build sites
+============ ========================== =====================================
+"""
+
+from repro.analysis.checkers.cache_latch import CacheLatchChecker
+from repro.analysis.checkers.duplicate_index import DuplicateIndexWriteChecker
+from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.param_mutation import ParamMutationChecker
+from repro.analysis.checkers.rate_invariants import RateInvariantChecker
+
+__all__ = [
+    "CacheLatchChecker",
+    "DuplicateIndexWriteChecker",
+    "FloatEqualityChecker",
+    "LockDisciplineChecker",
+    "ParamMutationChecker",
+    "RateInvariantChecker",
+]

@@ -1,0 +1,163 @@
+"""RL006 — transfer-rate invariant violations at graph-build call sites.
+
+The paper's convergence guarantees (Theorem 1; the Section 5.2 normalization
+step) rest on two invariants every rate set must satisfy: transfer rates are
+**non-negative**, and each label's outgoing rates **sum to at most 1** (else
+the power iteration diverges).  ``AuthorityTransferSchemaGraph`` enforces
+non-negativity at runtime, but a literal rate in a dataset module or a test
+only blows up when that code path actually runs — this rule rejects it at
+review time, and catches the >1 case the runtime deliberately allows
+(``scaled_to_convergent`` exists precisely to repair it).
+
+Flagged:
+
+* a **negative literal** rate anywhere a literal feeds a schema: a ``rates=``
+  dict literal (or ``{EdgeType(...): -0.3}`` style values), ``set_rate(...,
+  -0.3)``, ``with_vector([...])`` elements, or ``default_rate=-0.1`` /
+  ``epsilon=-1e-9`` keywords;
+* a **literal rate above 1.0** in the same positions when the enclosing
+  function never calls ``scaled_to_convergent`` or ``is_convergent`` — one
+  label's outgoing rate can legitimately exceed 1 only on its way into the
+  normalization that repairs it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    Checker,
+    SourceFile,
+    call_name,
+    literal_number,
+    register,
+)
+from repro.analysis.findings import Finding
+
+#: Constructor / method names that accept rate literals.
+_SCHEMA_CALLS = {"AuthorityTransferSchemaGraph"}
+_RATE_KEYWORDS = {"rates", "default_rate", "epsilon", "rate"}
+_SET_RATE_METHODS = {"set_rate"}
+_VECTOR_METHODS = {"with_vector"}
+_NORMALIZERS = {"scaled_to_convergent", "is_convergent"}
+
+
+@register
+class RateInvariantChecker(Checker):
+    code = "RL006"
+    name = "transfer-rate-invariant"
+    summary = (
+        "literal transfer rate that is negative, or above 1.0 without a "
+        "normalization call in scope"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for scope, calls in _scoped_calls(source.tree):
+            normalized = _scope_normalizes(scope)
+            for call in calls:
+                yield from self._check_call(source, call, normalized)
+
+    def _check_call(
+        self, source: SourceFile, call: ast.Call, normalized: bool
+    ) -> Iterator[Finding]:
+        name = call_name(call)
+        tail = name.rsplit(".", 1)[-1]
+
+        rate_nodes: list[tuple[ast.AST, float]] = []
+        if tail in _SCHEMA_CALLS:
+            for keyword in call.keywords:
+                if keyword.arg in _RATE_KEYWORDS:
+                    rate_nodes.extend(_literal_rates(keyword.value))
+            # Positional rates dict: AuthorityTransferSchemaGraph(schema, {...}).
+            if len(call.args) >= 2:
+                rate_nodes.extend(_literal_rates(call.args[1]))
+        elif tail in _SET_RATE_METHODS:
+            for arg in call.args:
+                rate_nodes.extend(_literal_rates(arg))
+            for keyword in call.keywords:
+                if keyword.arg in _RATE_KEYWORDS:
+                    rate_nodes.extend(_literal_rates(keyword.value))
+        elif tail in _VECTOR_METHODS:
+            for arg in call.args[:1]:
+                rate_nodes.extend(_literal_rates(arg))
+        else:
+            return
+
+        for node, value in rate_nodes:
+            if value < 0:
+                yield self.finding(
+                    source,
+                    node,
+                    f"negative transfer rate literal {value!r}: authority "
+                    "flow rates must be non-negative (RateError at runtime, "
+                    "wrong rankings if it ever slips through).",
+                    "use a rate in [0, 1]; encode 'no transfer' as 0.0.",
+                )
+            elif value > 1.0 and not normalized:
+                yield self.finding(
+                    source,
+                    node,
+                    f"transfer rate literal {value!r} exceeds 1.0 and the "
+                    "enclosing scope never normalizes: an outgoing rate sum "
+                    "above 1 breaks ObjectRank2 convergence.",
+                    "call .scaled_to_convergent() (or check .is_convergent()) "
+                    "on the schema before it is used for ranking.",
+                )
+
+
+def _literal_rates(node: ast.AST) -> list[tuple[ast.AST, float]]:
+    """(node, value) for every numeric literal rate inside ``node``.
+
+    Dict literals contribute their *values*; list/tuple literals their
+    elements; a bare literal contributes itself.  Non-literal expressions
+    contribute nothing — this rule only judges what it can see.
+    """
+    found: list[tuple[ast.AST, float]] = []
+    if isinstance(node, ast.Dict):
+        for value in node.values:
+            found.extend(_literal_rates(value))
+    elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for element in node.elts:
+            found.extend(_literal_rates(element))
+    else:
+        value = literal_number(node)
+        if value is not None:
+            found.append((node, value))
+    return found
+
+
+def _scoped_calls(tree: ast.Module) -> list[tuple[ast.AST, list[ast.Call]]]:
+    """(enclosing function-or-module, rate-relevant calls) pairs."""
+    scopes: list[tuple[ast.AST, list[ast.Call]]] = []
+
+    def visit(owner: ast.AST, body: list[ast.stmt]) -> None:
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = list(body)
+        nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.append(node)
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        scopes.append((owner, calls))
+        for func in nested:
+            visit(func, func.body)
+
+    visit(tree, tree.body)
+    return scopes
+
+
+def _scope_normalizes(scope: ast.AST) -> bool:
+    body = scope.body if hasattr(scope, "body") else []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            if call_name(node).rsplit(".", 1)[-1] in _NORMALIZERS:
+                return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False

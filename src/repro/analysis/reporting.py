@@ -1,0 +1,98 @@
+"""Reporters: human text, machine JSON, GitHub Actions annotations.
+
+All three render a :class:`~repro.analysis.runner.LintReport`:
+
+* ``text`` — one line per finding plus a summary block, for terminals;
+* ``json`` — the full report (findings, baselined, suppressed, stats) for
+  tooling and the benchmark harness;
+* ``github`` — ``::error file=...,line=...::...`` workflow commands, so a CI
+  ``repro lint --format github`` surfaces findings as PR annotations with no
+  extra action or upload step.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintReport
+
+FORMATS = ("text", "json", "github")
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "github":
+        return render_github(report)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def render_text(report: LintReport) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.code} {finding.message}")
+        if finding.suggestion:
+            lines.append(f"    suggestion: {finding.suggestion}")
+    for path, error in report.parse_errors:
+        lines.append(f"{path}: parse error: {error}")
+    lines.append(
+        f"{len(report.findings)} finding(s) in {report.files_scanned} file(s) "
+        f"[{report.elapsed_seconds:.2f}s; "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} pragma-suppressed]"
+    )
+    counts = report.counts_by_code()
+    if counts:
+        lines.append(
+            "by code: "
+            + ", ".join(f"{code}={count}" for code, count in counts.items())
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "files_scanned": report.files_scanned,
+        "elapsed_seconds": report.elapsed_seconds,
+        "checkers": report.checker_codes,
+        "findings": [finding.as_dict() for finding in report.findings],
+        "baselined": [finding.as_dict() for finding in report.baselined],
+        "suppressed": [finding.as_dict() for finding in report.suppressed],
+        "parse_errors": [
+            {"file": path, "error": error} for path, error in report.parse_errors
+        ],
+        "counts_by_code": report.counts_by_code(),
+        "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub workflow commands: one ``::error`` per finding/parse error."""
+    lines = [_annotation(finding) for finding in report.findings]
+    for path, error in report.parse_errors:
+        lines.append(f"::error file={path}::parse error: {_escape(error)}")
+    lines.append(
+        f"::notice::repro lint: {len(report.findings)} finding(s) in "
+        f"{report.files_scanned} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _annotation(finding: Finding) -> str:
+    message = finding.message
+    if finding.suggestion:
+        message = f"{message} Suggestion: {finding.suggestion}"
+    return (
+        f"::error file={finding.file},line={finding.line},"
+        f"col={finding.column + 1},title={finding.code}::{_escape(message)}"
+    )
+
+
+def _escape(message: str) -> str:
+    """Escape the characters GitHub workflow commands treat specially."""
+    return (
+        message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )

@@ -1,0 +1,140 @@
+"""The lint driver: walk files, run checkers, apply pragmas and the baseline.
+
+:func:`run_lint` is the one entry point the CLI, CI self-test and benchmarks
+all share.  It returns a :class:`LintReport` carrying the *new* findings
+(what a CI gate fails on) alongside everything it filtered out — baselined
+and pragma-suppressed findings stay inspectable, because a suppression you
+cannot audit is a suppression you cannot trust.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import Checker, SourceFile, all_checkers
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import parse_pragmas
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-partitioned for reporting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    checker_codes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the gate passes: no new findings and nothing unparseable."""
+        return not self.findings and not self.parse_errors
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def discover_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    result: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                result.append(candidate)
+    return result
+
+
+def lint_source(
+    source: SourceFile, checkers: list[Checker]
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``checkers`` over one parsed file -> (kept, pragma-suppressed)."""
+    pragmas = parse_pragmas(source.lines)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for checker in checkers:
+        for finding in checker.check(source):
+            if pragmas.suppresses(finding.line, finding.code):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: list[str | Path],
+    checkers: list[Checker] | None = None,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) and return the full report.
+
+    ``root`` anchors the relative file names in findings (default: the
+    current working directory when paths are relative, else the paths as
+    given) — baselines store those names, so runs from the repo root and
+    runs from elsewhere agree as long as ``root`` points at the repo.
+    """
+    started = time.perf_counter()
+    active = checkers if checkers is not None else all_checkers()
+    accepted = baseline if baseline is not None else Baseline()
+    report = LintReport(checker_codes=[checker.code for checker in active])
+
+    root_path = Path(root) if root is not None else None
+    for file_path in discover_files(paths):
+        display = _display_name(file_path, root_path)
+        try:
+            text = file_path.read_text(encoding="utf-8")
+            source = SourceFile.parse(display, text)
+        except (OSError, SyntaxError, ValueError) as error:
+            report.parse_errors.append((display, str(error)))
+            continue
+        report.files_scanned += 1
+        kept, suppressed = lint_source(source, active)
+        report.suppressed.extend(suppressed)
+        for finding in kept:
+            if accepted.contains(finding):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+
+    report.findings.sort()
+    report.baselined.sort()
+    report.suppressed.sort()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _display_name(file_path: Path, root: Path | None) -> str:
+    """Repo-relative POSIX name when possible (stable baseline keys)."""
+    candidates = [root] if root is not None else []
+    candidates.append(Path.cwd())
+    for base in candidates:
+        try:
+            return file_path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            continue
+    return file_path.as_posix()

@@ -13,7 +13,9 @@ equivalent surface.  Subcommands:
 * ``repro precompute <dataset> [--workers N]`` — offline per-keyword vector
   build through the blocked multi-restart engine (``repro.ranking.batch``);
 * ``repro serve [datasets...]`` — concurrent HTTP query service with result
-  caching, admission control and Prometheus metrics (see ``repro.serve``).
+  caching, admission control and Prometheus metrics (see ``repro.serve``);
+* ``repro lint [paths...]`` — the project's AST invariant linter (RL001–RL006,
+  see ``repro.analysis``) with text/JSON/GitHub output and baseline support.
 
 All subcommands accept ``--scale`` and ``--seed`` for the dataset generator
 and ``--top-k`` for the result-list length.
@@ -25,14 +27,18 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.config import SystemConfig
-from repro.core.system import ObjectRankSystem
-from repro.datasets import dataset_names, dataset_statistics, load_dataset
 from repro.errors import ReproError
-from repro.explain.render import to_text
+
+# The query/ranking commands need numpy+scipy; ``repro lint`` must not (it
+# runs in bare CI jobs in well under ten seconds).  Heavy imports therefore
+# happen inside the command functions, not at module import time.
 
 
 def _build_system(args: argparse.Namespace) -> tuple:
+    from repro.core.config import SystemConfig
+    from repro.core.system import ObjectRankSystem
+    from repro.datasets import load_dataset
+
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     system = ObjectRankSystem(
         dataset.data_graph,
@@ -61,6 +67,8 @@ def _print_results(dataset, result) -> None:
 
 def cmd_datasets(args: argparse.Namespace) -> int:
     """The ``repro datasets`` subcommand."""
+    from repro.datasets import dataset_names, dataset_statistics, load_dataset
+
     for name in dataset_names():
         if args.sizes:
             stats = dataset_statistics(load_dataset(name, args.scale, args.seed))
@@ -80,6 +88,8 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 def cmd_explain(args: argparse.Namespace) -> int:
     """The ``repro explain`` subcommand."""
+    from repro.explain.render import to_text
+
     dataset, system = _build_system(args)
     result = system.query(" ".join(args.keywords))
     target = None
@@ -132,6 +142,7 @@ def cmd_precompute(args: argparse.Namespace) -> int:
     """
     import time
 
+    from repro.datasets import load_dataset
     from repro.query.engine import SearchEngine
     from repro.ranking.precompute import PrecomputedRanker
 
@@ -166,10 +177,48 @@ def cmd_repl(args: argparse.Namespace) -> int:
     """The ``repro repl`` subcommand."""
     import sys as _sys
 
+    from repro.core.config import SystemConfig
+    from repro.datasets import load_dataset
     from repro.repl import run_repl
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     return run_repl(dataset, _sys.stdin, config=SystemConfig(top_k=args.top_k))
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """The ``repro lint`` subcommand: run the invariant checkers.
+
+    Exit codes: 0 when no new findings (baselined and pragma-suppressed ones
+    do not count), 1 when findings or parse errors remain, 2 on usage errors.
+    """
+    from repro.analysis import (
+        Baseline,
+        all_checkers,
+        load_baseline,
+        render,
+        run_lint,
+        save_baseline,
+    )
+
+    try:
+        checkers = all_checkers(args.select)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    baseline = Baseline() if args.no_baseline else load_baseline(args.baseline)
+    report = run_lint(args.paths, checkers=checkers, baseline=baseline)
+
+    if args.write_baseline:
+        accepted = report.findings + report.baselined
+        save_baseline(Baseline.from_findings(accepted, reasons=baseline), args.baseline)
+        print(
+            f"wrote {args.baseline} with {len(accepted)} accepted finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    print(render(report, args.format))
+    return 0 if report.clean else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -296,6 +345,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-request access log")
     serve.set_defaults(func=cmd_serve)
+
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant checkers (RL001-RL006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        help="report format (github emits workflow-command annotations)",
+    )
+    lint.add_argument(
+        "--baseline", default=".repro-lint-baseline.json",
+        help="accepted-findings file (missing file = empty baseline)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--select", nargs="*", default=None, metavar="CODE",
+        help="run only these rule codes (default: all registered)",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

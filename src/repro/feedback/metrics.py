@@ -64,7 +64,9 @@ def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
     dot = sum(x * y for x, y in zip(a, b))
     norm_a = math.sqrt(sum(x * x for x in a))
     norm_b = math.sqrt(sum(y * y for y in b))
-    if norm_a == 0.0 or norm_b == 0.0:
+    # Norms are non-negative by construction; <= states that, and catches a
+    # denormal-underflow zero the exact == comparison was never going to.
+    if norm_a <= 0.0 or norm_b <= 0.0:
         return 0.0
     return dot / (norm_a * norm_b)
 

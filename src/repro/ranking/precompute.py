@@ -157,7 +157,11 @@ class PrecomputedRanker:
             blended += blend_weight * self._vectors[term]
             total_weight += blend_weight
             matched[term] = blend_weight
-        if total_weight == 0.0:
+        # total_weight accumulates strictly positive blend weights, so "no
+        # cached keyword matched" is exactly total_weight <= 0.0 — an exact
+        # == 0.0 would miss a (theoretical) underflow-to-subnormal sum and
+        # then divide by it below.
+        if total_weight <= 0.0:
             raise EmptyBaseSetError(tuple(query_vector.terms))
         coverage = covered_weight / considered_weight
         if coverage < self.min_coverage:

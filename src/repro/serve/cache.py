@@ -97,11 +97,17 @@ class ResultCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._lock = threading.Lock()
+        #: guarded by self._lock
         self._entries: OrderedDict[Hashable, tuple[Any, float]] = OrderedDict()
+        #: guarded by self._lock
         self._hits = 0
+        #: guarded by self._lock
         self._misses = 0
+        #: guarded by self._lock
         self._evictions = 0
+        #: guarded by self._lock
         self._expirations = 0
+        #: guarded by self._lock
         self._invalidations = 0
 
     def __len__(self) -> int:

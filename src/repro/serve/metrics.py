@@ -26,6 +26,7 @@ class Counter:
         self.name = name
         self.help_text = help_text
         self._lock = threading.Lock()
+        #: guarded by self._lock
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -57,8 +58,11 @@ class Histogram:
         self.name = name
         self.help_text = help_text
         self._lock = threading.Lock()
+        #: guarded by self._lock
         self._window: deque[float] = deque(maxlen=window)
+        #: guarded by self._lock
         self._count = 0
+        #: guarded by self._lock
         self._sum = 0.0
 
     def observe(self, value: float) -> None:
@@ -110,6 +114,7 @@ class Gauge:
         self.name = name
         self.help_text = help_text
         self._lock = threading.Lock()
+        #: guarded by self._lock
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -139,6 +144,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        #: guarded by self._lock
         self._metrics: dict[str, Counter | Histogram | Gauge] = {}
 
     def _get_or_create(self, name: str, factory, kind):

@@ -120,7 +120,9 @@ class DatasetRuntime:
         self.dataset = dataset
         self.config = config
         self.engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+        #: guarded by self._rates_lock
         self.current_rates: AuthorityTransferSchemaGraph = dataset.transfer_schema
+        #: guarded by self._rates_lock
         self.reformulations_applied = 0
         self._rates_lock = threading.Lock()
         self._precompute_lock = threading.Lock()

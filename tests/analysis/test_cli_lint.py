@@ -1,0 +1,96 @@
+"""The ``repro lint`` CLI: formats, exit codes, baseline workflow."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("def f(rates):\n    rates['x'] = 1.0\n    return rates\n")
+    return path
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out
+
+    def test_json_format(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["code"] == "RL004"
+
+    def test_github_format(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "github"]) == 1
+        assert "::error file=" in capsys.readouterr().out
+
+    def test_unknown_select_code_exits_two(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--select", "RL999"]) == 2
+        assert "unknown rule codes" in capsys.readouterr().err
+
+    def test_select_skips_other_rules(self, dirty_file):
+        assert main(["lint", str(dirty_file), "--select", "RL005"]) == 0
+
+    def test_write_then_respect_baseline(self, dirty_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(dirty_file),
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        # Baselined findings no longer fail the gate ...
+        assert main(["lint", str(dirty_file), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ... unless the baseline is explicitly ignored.
+        assert (
+            main(
+                [
+                    "lint",
+                    str(dirty_file),
+                    "--baseline",
+                    str(baseline),
+                    "--no-baseline",
+                ]
+            )
+            == 1
+        )
+
+    def test_repository_gate_matches_ci_invocation(self, capsys):
+        """Exactly what CI runs: repro lint --format github src -> exit 0."""
+        assert (
+            main(
+                [
+                    "lint",
+                    "--format",
+                    "github",
+                    "--baseline",
+                    str(REPO_ROOT / ".repro-lint-baseline.json"),
+                    str(REPO_ROOT / "src"),
+                ]
+            )
+            == 0
+        ), capsys.readouterr().out

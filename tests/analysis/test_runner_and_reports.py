@@ -1,0 +1,159 @@
+"""Runner behaviour, reporters, and the repository self-lint gate.
+
+The self-lint tests are the CI contract of this PR: ``src/`` (and in
+particular ``src/repro/serve/``) must stay free of non-baselined findings.
+A regression that reintroduces one of the PR 2 bug patterns fails here
+before any reviewer reads the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    all_checkers,
+    load_baseline,
+    render,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def messy_tree(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text(
+        "def f(rates):\n    rates['x'] = 1.0\n    return rates\n"
+    )
+    (tmp_path / "pkg" / "good.py").write_text("VALUE = 1\n")
+    (tmp_path / "pkg" / "broken.py").write_text("def f(:\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "ghost.py").write_text("rates['x'] = 1\n")
+    return tmp_path
+
+
+class TestRunner:
+    def test_discovers_and_partitions(self, messy_tree):
+        report = run_lint([messy_tree / "pkg"], root=messy_tree)
+        assert report.files_scanned == 2  # broken.py is a parse error
+        assert [finding.code for finding in report.findings] == ["RL004"]
+        assert report.findings[0].file == "pkg/bad.py"
+        assert len(report.parse_errors) == 1
+        assert not report.clean
+
+    def test_pycache_never_scanned(self, messy_tree):
+        report = run_lint([messy_tree / "pkg"], root=messy_tree)
+        assert all("__pycache__" not in f.file for f in report.findings)
+
+    def test_baseline_filters_known_findings(self, messy_tree):
+        first = run_lint([messy_tree / "pkg" / "bad.py"], root=messy_tree)
+        baseline = Baseline.from_findings(first.findings)
+        second = run_lint(
+            [messy_tree / "pkg" / "bad.py"], baseline=baseline, root=messy_tree
+        )
+        assert second.findings == []
+        assert [finding.code for finding in second.baselined] == ["RL004"]
+        assert second.clean
+
+    def test_selected_checkers_only(self, messy_tree):
+        report = run_lint(
+            [messy_tree / "pkg" / "bad.py"],
+            checkers=all_checkers(["RL005"]),
+            root=messy_tree,
+        )
+        assert report.findings == []
+        assert report.checker_codes == ["RL005"]
+
+    def test_counts_by_code(self, messy_tree):
+        report = run_lint([messy_tree / "pkg"], root=messy_tree)
+        assert report.counts_by_code() == {"RL004": 1}
+
+
+class TestReporters:
+    @pytest.fixture
+    def report(self, messy_tree):
+        return run_lint([messy_tree / "pkg"], root=messy_tree)
+
+    def test_text_format(self, report):
+        text = render(report, "text")
+        assert "pkg/bad.py:2: RL004" in text
+        assert "suggestion:" in text
+        assert "parse error" in text
+
+    def test_json_format_is_machine_readable(self, report):
+        payload = json.loads(render(report, "json"))
+        assert payload["files_scanned"] == 2
+        assert payload["clean"] is False
+        assert payload["findings"][0]["code"] == "RL004"
+        assert payload["findings"][0]["fingerprint"]
+        assert payload["counts_by_code"] == {"RL004": 1}
+
+    def test_github_format_emits_workflow_commands(self, report):
+        lines = render(report, "github").splitlines()
+        assert any(
+            line.startswith("::error file=pkg/bad.py,line=2,") for line in lines
+        )
+        assert any(line.startswith("::notice::repro lint:") for line in lines)
+
+    def test_github_format_escapes_newlines(self, report):
+        assert "%0A" not in render(report, "github") or "\n::" in render(
+            report, "github"
+        )
+
+    def test_unknown_format_rejected(self, report):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(report, "xml")
+
+
+class TestRepositorySelfLint:
+    """The analyzer runs clean over its own repository (ISSUE 3 gate)."""
+
+    def test_src_has_zero_non_baselined_findings(self):
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        report = run_lint([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        assert report.parse_errors == []
+        assert report.findings == [], render(report, "text")
+
+    def test_serve_package_is_clean_without_any_baseline(self):
+        """The RL003 audit target: repro.serve passes with an EMPTY baseline."""
+        report = run_lint(
+            [REPO_ROOT / "src" / "repro" / "serve"],
+            baseline=Baseline(),
+            root=REPO_ROOT,
+        )
+        assert report.findings == [], render(report, "text")
+        assert report.files_scanned >= 5
+
+    def test_query_engine_is_clean_without_any_baseline(self):
+        report = run_lint(
+            [REPO_ROOT / "src" / "repro" / "query"],
+            baseline=Baseline(),
+            root=REPO_ROOT,
+        )
+        assert report.findings == [], render(report, "text")
+
+    def test_lock_discipline_actually_bound_in_serve(self):
+        """Guard against silently losing the RL003 attribute<->lock binding."""
+        import ast
+
+        from repro.analysis.base import SourceFile
+        from repro.analysis.checkers.lock_discipline import (
+            _guarded_attributes,
+            _lock_attributes,
+        )
+
+        path = REPO_ROOT / "src" / "repro" / "serve" / "service.py"
+        source = SourceFile.parse(str(path), path.read_text())
+        guarded = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                locks = _lock_attributes(node)
+                if locks:
+                    guarded.update(_guarded_attributes(source, node, locks))
+        assert guarded.get("current_rates") == "_rates_lock"
+        assert guarded.get("reformulations_applied") == "_rates_lock"
+        assert guarded.get("_precomputed") == "_precompute_lock"
+        assert guarded.get("_runtimes") == "_runtimes_lock"

@@ -119,6 +119,40 @@ class TestCoverage:
             ranker.rank(QueryVector({"notaword": 1.0}))
 
 
+class TestDegenerateZeroWeight:
+    """Regression for the RL005 fix: the total-weight guard in ``rank`` is
+    ``<= 0.0`` (not ``== 0.0``), so every degenerate path raises
+    :class:`EmptyBaseSetError` instead of reaching the ``blended /=
+    total_weight`` division below it."""
+
+    def test_all_zero_weights_raise_not_divide(self, ranker):
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"olap": 0.0, "multidimensional": 0.0}))
+
+    def test_negative_weights_rejected_at_construction(self):
+        """Negative weights never reach rank(): QueryVector refuses them, so
+        the guard's only degenerate inputs are exact zeros."""
+        with pytest.raises(ValueError):
+            QueryVector({"olap": -1.0})
+
+    def test_zero_weight_cached_and_uncached_mix_raises(self, ranker):
+        with pytest.raises(EmptyBaseSetError):
+            ranker.rank(QueryVector({"olap": 0.0, "notaword": 0.0}))
+
+    def test_tiny_positive_weight_still_answers(self, ranker):
+        """The guard must not swallow genuinely tiny-but-positive weights:
+        blending normalizes, so a scaled-down query ranks identically."""
+        tiny = ranker.rank(QueryVector({"olap": 1e-300}))
+        full = ranker.rank(QueryVector({"olap": 1.0}))
+        assert tiny.top_k(3) == pytest.approx(full.top_k(3))
+
+    def test_zero_weight_terms_do_not_poison_positive_ones(self, ranker):
+        mixed = ranker.rank(QueryVector({"olap": 1.0, "multidimensional": 0.0}))
+        pure = ranker.rank(QueryVector({"olap": 1.0}))
+        assert mixed.scores == pytest.approx(pure.scores)
+        assert mixed.coverage == 1.0  # zero-weight terms are not "considered"
+
+
 class TestBatchedBuild:
     def test_workers_build_matches_serial_build(self, figure1_graph, figure1_index):
         import numpy as np
