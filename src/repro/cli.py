@@ -7,6 +7,8 @@ equivalent surface.  Subcommands:
 * ``repro search <dataset> <keywords...>`` — top-k ObjectRank2 results;
 * ``repro explain <dataset> <target-substring> <keywords...>`` — explaining
   subgraph of the first result whose id or title matches the substring;
+  ``--batch K [--workers N]`` explains every matching top-K result in one
+  batched pass through ``repro.explain.batch`` (target ``all`` matches all);
 * ``repro feedback <dataset> <keywords...> --mark N [N...]`` — mark results
   by rank, reformulate, and show the reformulated ranking and learned rates;
 * ``repro repl <dataset>`` — interactive search/explain/feedback shell;
@@ -92,12 +94,32 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
     dataset, system = _build_system(args)
     result = system.query(" ".join(args.keywords))
-    target = None
     needle = args.target.lower()
-    for node_id, _score in result.top:
-        if needle in node_id.lower() or needle in _caption(dataset, node_id).lower():
-            target = node_id
-            break
+
+    def matches(node_id: str) -> bool:
+        return (
+            needle == "all"
+            or needle in node_id.lower()
+            or needle in _caption(dataset, node_id).lower()
+        )
+
+    if args.batch:
+        targets = [nid for nid, _ in result.top[: args.batch] if matches(nid)]
+        if not targets:
+            print(
+                f"no top-{args.batch} result matches {args.target!r}",
+                file=sys.stderr,
+            )
+            return 1
+        # One batched pass over every matching result (repro.explain.batch);
+        # per target the output is identical to a serial `repro explain`.
+        explanations = system.explain_many(targets, workers=args.workers)
+        for node_id, explanation in zip(targets, explanations):
+            print(f"=== {_caption(dataset, node_id)}")
+            print(to_text(explanation, max_paths=args.paths))
+        return 0
+
+    target = next((nid for nid, _score in result.top if matches(nid)), None)
     if target is None:
         print(f"no top-{args.top_k} result matches {args.target!r}", file=sys.stderr)
         return 1
@@ -278,9 +300,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = sub.add_parser("explain", help="explain one result of a query")
     common(explain)
-    explain.add_argument("target", help="substring of the result id or title")
+    explain.add_argument(
+        "target", help="substring of the result id or title ('all' with --batch)"
+    )
     explain.add_argument("keywords", nargs="+")
     explain.add_argument("--paths", type=int, default=5)
+    explain.add_argument(
+        "--batch", type=int, default=None, metavar="K",
+        help="explain every matching result among the top K in one batched "
+        "pass (repro.explain.batch) instead of the first match",
+    )
+    explain.add_argument(
+        "--workers", type=int, default=None,
+        help="threads for batched subgraph extraction (with --batch)",
+    )
     explain.set_defaults(func=cmd_explain)
 
     feedback = sub.add_parser("feedback", help="mark results and reformulate")

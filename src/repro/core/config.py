@@ -43,6 +43,9 @@ class SystemConfig:
     # Section 6.2: "for the initial user query, we initialize every node in
     # D^A with their global ObjectRank values, to achieve faster convergence."
     global_warm_start: bool = True
+    #: Threads for batched explaining-subgraph extraction (None = in-process);
+    #: feedback rounds and ``explain_many`` batch their targets either way.
+    explain_workers: int | None = None
 
     @classmethod
     def content_only(cls, expansion_factor: float = 0.2, **overrides) -> "SystemConfig":

@@ -2,7 +2,15 @@
 (Section 4, Equations 5-10, Figure 8)."""
 
 from repro.explain.adjustment import FlowExplanation, adjust_flows
+from repro.explain.batch import (
+    SubgraphExtractor,
+    batched_adjust_flows,
+    batched_build_explaining_subgraphs,
+    batched_explain,
+)
 from repro.explain.flows import (
+    local_node_incoming_flow,
+    local_node_outgoing_flow,
     node_incoming_flow,
     node_outgoing_flow,
     original_edge_flows,
@@ -16,8 +24,14 @@ __all__ = [
     "ExplainingSubgraph",
     "FlowExplanation",
     "FlowPath",
+    "SubgraphExtractor",
     "adjust_flows",
+    "batched_adjust_flows",
+    "batched_build_explaining_subgraphs",
+    "batched_explain",
     "build_explaining_subgraph",
+    "local_node_incoming_flow",
+    "local_node_outgoing_flow",
     "node_incoming_flow",
     "node_outgoing_flow",
     "original_edge_flows",

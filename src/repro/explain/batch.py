@@ -1,0 +1,559 @@
+"""Batched explanation engine: many targets, one pass (Section 4 at scale).
+
+Explaining a single result is cheap; the serving paths never explain just
+one.  ``/explain`` explains members of a top-k list, and one reformulation
+round (Equations 14-15) explains every feedback object before aggregating.
+The serial pipeline re-runs a Python BFS and a small numpy fixpoint per
+target; for subgraphs of a few hundred edges the per-call interpreter and
+numpy-dispatch overhead dominates the arithmetic.
+
+This module amortizes that overhead across a batch of targets:
+
+* **Shared positive-rate adjacency.**  Subgraph construction only ever
+  traverses edges with a strictly positive transfer rate.
+  :class:`SubgraphExtractor` filters the graph's in/out incidence indices
+  down to those edges once per rate setting, so every target's two BFS
+  passes skip the rate test entirely and the mask is shared by the whole
+  batch.
+
+* **Vectorized frontier expansion.**  Each BFS processes whole frontiers as
+  index arrays — one ragged CSR gather per level instead of one Python loop
+  iteration per node — with epoch-tagged visited/depth stamps reused across
+  targets so per-target cost scales with the subgraph, not the graph.
+  Level-synchronous expansion discovers exactly the FIFO BFS's node set at
+  exactly its depths, so the resulting :class:`ExplainingSubgraph` equals
+  the serial one field for field.
+
+* **Multi-target flow-adjustment fixpoint.**  The per-target iterations of
+  Equation 10 are independent, so their edge lists are concatenated (with
+  per-target local-node offsets) into one shared edge list and advanced
+  together: one ``gather·rates`` + one ``np.add.at`` scatter per iteration
+  for the whole batch, mirroring ``repro.ranking.batch``.  Targets converge
+  independently: a converged target's factors are *frozen* (captured
+  immediately, then the segment coasts harmlessly) and amortized
+  *compaction* rebuilds the shared edge list without finished segments once
+  a quarter of the batch is done.
+
+This is a performance change, not an approximation: each target's additions
+occupy a contiguous run of the shared edge list in serial edge order, so the
+scatter accumulates bit-for-bit the same sums as the serial fixpoint, and
+the per-segment residual is an exact max — flows, node reduction factors,
+iteration counts (Table 3) and residual traces are all identical to
+:func:`repro.explain.adjust_flows` per target.
+
+``workers`` optionally spreads subgraph extraction over a thread pool
+(default — extraction is numpy-bound and the results alias the shared
+graph) or a process pool (each chunk re-pickles the graph; only worth it
+for very large graphs with many targets).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ExplanationError
+from repro.explain.adjustment import (
+    DEFAULT_ADJUSTMENT_MAX_ITERATIONS,
+    FlowExplanation,
+)
+from repro.explain.flows import original_edge_flows
+from repro.explain.subgraph import ExplainingSubgraph
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ranking.pagerank import DEFAULT_DAMPING, DEFAULT_TOLERANCE
+
+#: Compaction threshold: rebuild the shared edge list once this fraction of
+#: the still-packed targets has converged.  Rebuilding is O(remaining edges);
+#: amortizing it keeps total compaction cost linear in the batch size.
+_COMPACT_FRACTION = 4
+
+
+def _positive_incidence(
+    endpoint: np.ndarray, positive: np.ndarray, num_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR-style (indptr, edge_ids) over positive-rate edges only."""
+    edge_ids = np.flatnonzero(positive)
+    endpoints = endpoint[edge_ids]
+    order = np.argsort(endpoints, kind="stable")
+    counts = (
+        np.bincount(endpoints, minlength=num_nodes)
+        if edge_ids.size
+        else np.zeros(num_nodes, dtype=np.int64)
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, edge_ids[order]
+
+
+def _gather_ragged(
+    indptr: np.ndarray, data: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Concatenation of ``data[indptr[v]:indptr[v+1]]`` for every frontier node.
+
+    The vectorized equivalent of the serial BFS's per-node adjacency loop:
+    one fancy-indexing pass gathers every frontier node's edge ids at once.
+    """
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype)
+    boundaries = np.cumsum(counts)
+    index = np.arange(total, dtype=np.int64)
+    index += np.repeat(starts - boundaries + counts, counts)
+    return data[index]
+
+
+class _WorkArrays:
+    """Epoch-tagged per-extraction scratch, reused across targets.
+
+    ``tag[v] == epoch`` marks membership of the current target's backward
+    set, ``reach[v] == epoch`` of its forward set; bumping the epoch resets
+    both in O(1).  One instance per worker thread — instances are never
+    shared concurrently.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.tag = np.zeros(num_nodes, dtype=np.int64)
+        self.depth = np.zeros(num_nodes, dtype=np.int64)
+        self.reach = np.zeros(num_nodes, dtype=np.int64)
+        self.epoch = 0
+
+
+class SubgraphExtractor:
+    """Vectorized explaining-subgraph construction over one rate setting.
+
+    Holds the positive-rate in/out incidence shared by every extraction;
+    build one per (graph, rates) and reuse it for the whole batch.  The
+    extractor itself is immutable after construction, so concurrent threads
+    may extract through it as long as each brings its own work arrays (the
+    public entry point :func:`batched_build_explaining_subgraphs` does).
+    """
+
+    def __init__(self, graph: AuthorityTransferDataGraph) -> None:
+        self.graph = graph
+        positive = graph.edge_rate > 0.0
+        self._in_indptr, self._in_edges = _positive_incidence(
+            graph.edge_target, positive, graph.num_nodes
+        )
+        self._out_indptr, self._out_edges = _positive_incidence(
+            graph.edge_source, positive, graph.num_nodes
+        )
+
+    def extract(
+        self,
+        base_indices: np.ndarray,
+        target: int,
+        radius: int | None,
+        work: _WorkArrays,
+    ) -> ExplainingSubgraph:
+        """One target's ``G_v^Q``, identical to the serial two-pass build."""
+        graph = self.graph
+        work.epoch += 1
+        epoch = work.epoch
+        tag, depth, reach = work.tag, work.depth, work.reach
+
+        # Backward pass, level-synchronous: frontier ``L`` holds exactly the
+        # nodes at BFS depth ``L``, so the depths equal the serial FIFO BFS's.
+        tag[target] = epoch
+        depth[target] = 0
+        frontier = np.asarray([target], dtype=np.int64)
+        level = 0
+        while frontier.size and (radius is None or level < radius):
+            sources = graph.edge_source[
+                _gather_ragged(self._in_indptr, self._in_edges, frontier)
+            ]
+            fresh = np.unique(sources[tag[sources] != epoch])
+            if fresh.size == 0:
+                break
+            level += 1
+            tag[fresh] = epoch
+            depth[fresh] = level
+            frontier = fresh
+
+        # Forward pass from the base-set nodes inside the backward set.  The
+        # first frontier keeps the base list's order and multiplicity (the
+        # serial pass seeds its queue the same way), later frontiers are the
+        # deduplicated newly-reached nodes.
+        roots = (
+            base_indices[tag[base_indices] == epoch]
+            if base_indices.size
+            else base_indices
+        )
+        reach[roots] = epoch
+        kept: list[np.ndarray] = []
+        reached: list[np.ndarray] = [np.unique(roots)]
+        frontier = roots
+        while frontier.size:
+            eids = _gather_ragged(self._out_indptr, self._out_edges, frontier)
+            dests = graph.edge_target[eids]
+            inside = tag[dests] == epoch
+            eids, dests = eids[inside], dests[inside]
+            kept.append(eids)
+            fresh = np.unique(dests[reach[dests] != epoch])
+            reach[fresh] = epoch
+            reached.append(fresh)
+            frontier = fresh
+
+        # The target belongs to the subgraph even when nothing reaches it.
+        reached.append(np.asarray([target], dtype=np.int64))
+        nodes_array = np.unique(np.concatenate(reached))
+        edge_ids = np.sort(np.concatenate(kept)) if kept else np.empty(0, np.int64)
+        nodes = [int(n) for n in nodes_array]
+        return ExplainingSubgraph(
+            graph=graph,
+            target=target,
+            nodes=nodes,
+            edge_ids=edge_ids.astype(np.int64, copy=False),
+            base_nodes=[int(b) for b in roots],
+            depth_to_target={n: int(depth[n]) for n in nodes},
+            radius=radius,
+            _nodes_array=nodes_array,
+        )
+
+    def extract_many(
+        self,
+        base_indices: np.ndarray,
+        targets: Sequence[int],
+        radius: int | None,
+        work: _WorkArrays | None = None,
+    ) -> list[ExplainingSubgraph]:
+        """Extract a run of targets sequentially with shared work arrays."""
+        work = work or _WorkArrays(self.graph.num_nodes)
+        return [self.extract(base_indices, t, radius, work) for t in targets]
+
+
+def _extract_parts(
+    graph: AuthorityTransferDataGraph,
+    base_node_ids: list[str],
+    target_ids: list[str],
+    radius: int | None,
+) -> list[tuple]:
+    """Process-pool task: extract a chunk, return graph-free subgraph parts.
+
+    Shipping :class:`ExplainingSubgraph` back would re-pickle the graph once
+    per subgraph; the parent reattaches its own graph reference instead.
+    """
+    extractor = SubgraphExtractor(graph)
+    base_indices = graph.indices_of(base_node_ids)
+    subgraphs = extractor.extract_many(
+        base_indices, [graph.index_of(t) for t in target_ids], radius
+    )
+    return [
+        (sg.target, sg.nodes, sg.edge_ids, sg.base_nodes, sg.depth_to_target)
+        for sg in subgraphs
+    ]
+
+
+def batched_build_explaining_subgraphs(
+    graph: AuthorityTransferDataGraph,
+    base_node_ids: list[str],
+    target_ids: Sequence[str],
+    radius: int | None = None,
+    workers: int | None = None,
+    pool: str = "thread",
+    extractor: SubgraphExtractor | None = None,
+) -> list[ExplainingSubgraph]:
+    """``G_v^Q`` for every target, sharing one positive-rate adjacency.
+
+    Field-for-field identical to calling
+    :func:`repro.explain.build_explaining_subgraph` per target.  ``workers``
+    splits the targets across a ``pool`` of threads (default) or processes;
+    a pool that cannot start degrades to the in-process loop.  Pass a
+    prebuilt ``extractor`` to reuse the filtered adjacency across batches
+    under an unchanged rate setting.
+    """
+    if radius is not None and radius < 1:
+        raise ExplanationError(f"radius must be at least 1, got {radius}")
+    if pool not in ("thread", "process"):
+        raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
+    targets = [graph.index_of(t) for t in target_ids]
+    base_indices = graph.indices_of(list(base_node_ids))
+    if not targets:
+        return []
+
+    chunk_count = min(workers, len(targets)) if workers and workers > 1 else 1
+    if chunk_count <= 1:
+        extractor = extractor or SubgraphExtractor(graph)
+        return extractor.extract_many(base_indices, targets, radius)
+
+    bounds = np.linspace(0, len(targets), chunk_count + 1).astype(int)
+    chunks = [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+    if pool == "process":
+        tasks = [
+            (graph, list(base_node_ids), list(target_ids[lo:hi]), radius)
+            for lo, hi in chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(tasks)) as executor:
+                futures = [executor.submit(_extract_parts, *task) for task in tasks]
+                parts = [p for future in futures for p in future.result()]
+            return [
+                ExplainingSubgraph(
+                    graph=graph,
+                    target=target,
+                    nodes=nodes,
+                    edge_ids=edge_ids,
+                    base_nodes=base_nodes,
+                    depth_to_target=depths,
+                    radius=radius,
+                )
+                for target, nodes, edge_ids, base_nodes, depths in parts
+            ]
+        except (OSError, PermissionError, RuntimeError):
+            pass  # restricted environments forbid fork/spawn; run with threads
+
+    extractor = extractor or SubgraphExtractor(graph)
+
+    def run_chunk(lo: int, hi: int) -> list[ExplainingSubgraph]:
+        # One work-array set per chunk: extractor state is shared read-only,
+        # the epoch-tagged scratch is what must stay thread-private.
+        return extractor.extract_many(
+            base_indices, targets[lo:hi], radius, _WorkArrays(graph.num_nodes)
+        )
+
+    try:
+        with ThreadPoolExecutor(max_workers=len(chunks)) as executor:
+            futures = [executor.submit(run_chunk, lo, hi) for lo, hi in chunks]
+            return [sg for future in futures for sg in future.result()]
+    except (OSError, PermissionError, RuntimeError):
+        return extractor.extract_many(base_indices, targets, radius)
+
+
+# -- multi-target flow adjustment -------------------------------------------
+
+
+@dataclass
+class _Segment:
+    """One target's slice of the shared fixpoint state."""
+
+    position: int  # index into the caller's subgraph list
+    subgraph: ExplainingSubgraph
+    flow0: np.ndarray
+    src_local: np.ndarray
+    dst_local: np.ndarray
+    rates: np.ndarray
+    num_local: int
+    target_local: int
+    residuals: list[float]
+    h: np.ndarray | None = None  # captured factors (at convergence or cutoff)
+    iterations: int = 0
+    converged: bool = False
+
+
+@dataclass
+class _Packed:
+    """The concatenated ("shared") edge list over the still-active segments."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    rates: np.ndarray
+    node_starts: np.ndarray  # segment boundaries, for per-segment residuals
+    target_pos: np.ndarray
+    total_nodes: int
+
+
+def _pack(segments: list[_Segment]) -> _Packed:
+    """Concatenate segment edge lists with per-segment local-node offsets."""
+    sizes = np.asarray([s.num_local for s in segments], dtype=np.int64)
+    node_starts = np.zeros(len(segments), dtype=np.int64)
+    np.cumsum(sizes[:-1], out=node_starts[1:])
+    src = np.concatenate(
+        [s.src_local + off for s, off in zip(segments, node_starts)]
+    )
+    dst = np.concatenate(
+        [s.dst_local + off for s, off in zip(segments, node_starts)]
+    )
+    rates = np.concatenate([s.rates for s in segments])
+    target_pos = node_starts + np.asarray(
+        [s.target_local for s in segments], dtype=np.int64
+    )
+    return _Packed(src, dst, rates, node_starts, target_pos, int(sizes.sum()))
+
+
+def batched_adjust_flows(
+    subgraphs: Sequence[ExplainingSubgraph],
+    scores: np.ndarray,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_ADJUSTMENT_MAX_ITERATIONS,
+    raise_on_divergence: bool = False,
+    compact: bool = True,
+) -> list[FlowExplanation]:
+    """Run the Equation 10 fixpoint for every subgraph in one shared iteration.
+
+    Per target, the returned :class:`FlowExplanation` is bit-identical to
+    :func:`repro.explain.adjust_flows` — flows, reduction factors, iteration
+    counts, convergence flags and residual traces.  All subgraphs must be
+    over the same graph and the same converged ``scores`` vector.
+
+    ``compact`` drops converged segments from the shared edge list (they
+    coast otherwise); ``raise_on_divergence`` raises for the first target
+    that fails to converge within ``max_iterations``, like the serial path
+    does for its single target.
+    """
+    explanations: list[FlowExplanation | None] = [None] * len(subgraphs)
+    segments: list[_Segment] = []
+    for position, subgraph in enumerate(subgraphs):
+        flow0 = original_edge_flows(
+            subgraph.graph, scores, damping, subgraph.edge_ids
+        )
+        if subgraph.is_empty:
+            explanations[position] = FlowExplanation(
+                subgraph,
+                damping,
+                flow0,
+                flow0.copy(),
+                {subgraph.target: 1.0},
+                0,
+                True,
+            )
+            continue
+        segments.append(
+            _Segment(
+                position=position,
+                subgraph=subgraph,
+                flow0=flow0,
+                src_local=subgraph.edge_src_local,
+                dst_local=subgraph.edge_dst_local,
+                rates=subgraph.graph.edge_rate[subgraph.edge_ids],
+                num_local=subgraph.num_nodes,
+                target_local=int(
+                    np.searchsorted(subgraph.nodes_array, subgraph.target)
+                ),
+                residuals=[],
+            )
+        )
+
+    if segments:
+        _iterate_segments(segments, tolerance, max_iterations, compact)
+
+    for segment in segments:
+        if not segment.converged and raise_on_divergence:
+            raise ConvergenceError(
+                "explaining flow adjustment",
+                segment.iterations,
+                segment.residuals[-1],
+            )
+        flows = segment.h[segment.dst_local] * segment.flow0  # Equation 7
+        reduction = {
+            node: float(segment.h[i])
+            for i, node in enumerate(segment.subgraph.nodes)
+        }
+        explanations[segment.position] = FlowExplanation(
+            segment.subgraph,
+            damping,
+            segment.flow0,
+            flows,
+            reduction,
+            segment.iterations,
+            segment.converged,
+            segment.residuals,
+        )
+    return explanations
+
+
+def _iterate_segments(
+    segments: list[_Segment],
+    tolerance: float,
+    max_iterations: int,
+    compact: bool,
+) -> None:
+    """Advance every segment's fixpoint together until all converge.
+
+    Each segment's edges form a contiguous run of the shared list in serial
+    edge order, so the single ``np.add.at`` scatter performs, per segment,
+    exactly the serial accumulation; the per-segment residual is an exact
+    ``max`` (order-insensitive), so convergence decisions — and therefore
+    iteration counts — match the serial engine bit for bit.  A converged
+    segment's factors are captured immediately; the segment coasts in the
+    shared list until amortized compaction rebuilds it without finished
+    segments (at least a quarter dead), keeping total compaction cost linear.
+    """
+    packed = _pack(segments)
+    active = list(segments)
+    h = np.ones(packed.total_nodes)
+    live = len(active)
+    iteration = 0
+    while live and iteration < max_iterations:
+        iteration += 1
+        contributions = h[packed.dst] * packed.rates
+        new_h = np.zeros(packed.total_nodes)
+        np.add.at(new_h, packed.src, contributions)
+        new_h[packed.target_pos] = 1.0
+        diff = np.abs(new_h - h)
+        seg_residuals = np.maximum.reduceat(diff, packed.node_starts)
+        h = new_h
+        finished = False
+        for local, segment in enumerate(active):
+            if segment.converged:
+                continue  # coasting until compaction
+            residual = float(seg_residuals[local])
+            segment.residuals.append(residual)
+            if residual < tolerance:
+                start = packed.node_starts[local]
+                segment.h = h[start : start + segment.num_local].copy()
+                segment.iterations = iteration
+                segment.converged = True
+                live -= 1
+                finished = True
+        if (
+            compact
+            and finished
+            and live
+            and _COMPACT_FRACTION * (len(active) - live) >= len(active)
+        ):
+            survivors = [s for s in active if not s.converged]
+            h = np.concatenate(
+                [
+                    h[packed.node_starts[i] : packed.node_starts[i] + s.num_local]
+                    for i, s in enumerate(active)
+                    if not s.converged
+                ]
+            )
+            active = survivors
+            packed = _pack(active)
+
+    for local, segment in enumerate(active):
+        if not segment.converged:
+            start = packed.node_starts[local]
+            segment.h = h[start : start + segment.num_local].copy()
+            segment.iterations = iteration
+
+
+def batched_explain(
+    graph: AuthorityTransferDataGraph,
+    base_node_ids: list[str],
+    target_ids: Sequence[str],
+    scores: np.ndarray,
+    damping: float = DEFAULT_DAMPING,
+    radius: int | None = 3,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_ADJUSTMENT_MAX_ITERATIONS,
+    workers: int | None = None,
+    pool: str = "thread",
+    compact: bool = True,
+) -> list[FlowExplanation]:
+    """The full Figure 8 pipeline for many targets in one batched pass.
+
+    The batched counterpart of :func:`repro.explain.explain`: one shared
+    subgraph extraction (optionally across ``workers``) followed by one
+    multi-target flow-adjustment fixpoint.  Per target, the result is
+    bit-identical to the serial pipeline.
+    """
+    subgraphs = batched_build_explaining_subgraphs(
+        graph, base_node_ids, target_ids, radius, workers=workers, pool=pool
+    )
+    return batched_adjust_flows(
+        subgraphs,
+        scores,
+        damping,
+        tolerance,
+        max_iterations,
+        compact=compact,
+    )

@@ -12,9 +12,14 @@ then reduces these flows to the part that eventually reaches the target.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.graph.transfer_graph import AuthorityTransferDataGraph
+
+if TYPE_CHECKING:  # subgraph imports nothing from here; annotation only
+    from repro.explain.subgraph import ExplainingSubgraph
 
 
 def original_edge_flows(
@@ -52,4 +57,29 @@ def node_incoming_flow(
     """Sum of ``flows`` grouped by edge target, over all graph nodes."""
     totals = np.zeros(graph.num_nodes)
     np.add.at(totals, graph.edge_target[edge_ids], flows)
+    return totals
+
+
+def local_node_outgoing_flow(
+    subgraph: "ExplainingSubgraph", flows: np.ndarray
+) -> np.ndarray:
+    """Per-node outgoing flow over *subgraph-local* indices.
+
+    Aligned with ``subgraph.nodes``; allocates ``num_local`` floats instead of
+    a dense ``graph.num_nodes`` array, which matters when content
+    reformulation aggregates a small explanation per feedback object over a
+    large graph.  Accumulation runs in edge order, so totals are bit-identical
+    to a sequential per-edge sum.
+    """
+    totals = np.zeros(subgraph.num_nodes)
+    np.add.at(totals, subgraph.edge_src_local, flows)
+    return totals
+
+
+def local_node_incoming_flow(
+    subgraph: "ExplainingSubgraph", flows: np.ndarray
+) -> np.ndarray:
+    """Per-node incoming flow over *subgraph-local* indices (see above)."""
+    totals = np.zeros(subgraph.num_nodes)
+    np.add.at(totals, subgraph.edge_dst_local, flows)
     return totals

@@ -45,6 +45,9 @@ class ExplainingSubgraph:
     depth_to_target: dict[int, int]
     radius: int | None = None
     _node_set: set[int] = field(default_factory=set, repr=False)
+    _nodes_array: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _edge_src_local: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _edge_dst_local: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._node_set = set(self.nodes)
@@ -64,6 +67,39 @@ class ExplainingSubgraph:
 
     def contains_node(self, index: int) -> bool:
         return index in self._node_set
+
+    @property
+    def nodes_array(self) -> np.ndarray:
+        """``nodes`` as a sorted int64 array (cached; backs local indexing)."""
+        if self._nodes_array is None:
+            self._nodes_array = np.asarray(self.nodes, dtype=np.int64)
+        return self._nodes_array
+
+    def local_indices_of(self, global_indices: np.ndarray) -> np.ndarray:
+        """Positions of graph node indices inside the sorted ``nodes`` array.
+
+        Callers must pass indices of subgraph members; ``nodes`` is sorted by
+        construction, so this is one ``searchsorted`` instead of a dict build.
+        """
+        return np.searchsorted(self.nodes_array, global_indices)
+
+    @property
+    def edge_src_local(self) -> np.ndarray:
+        """Subgraph-local source index of every subgraph edge (cached)."""
+        if self._edge_src_local is None:
+            self._edge_src_local = self.local_indices_of(
+                self.graph.edge_source[self.edge_ids]
+            )
+        return self._edge_src_local
+
+    @property
+    def edge_dst_local(self) -> np.ndarray:
+        """Subgraph-local target index of every subgraph edge (cached)."""
+        if self._edge_dst_local is None:
+            self._edge_dst_local = self.local_indices_of(
+                self.graph.edge_target[self.edge_ids]
+            )
+        return self._edge_dst_local
 
     @property
     def target_id(self) -> str:

@@ -89,8 +89,14 @@ def train_transfer_rates(
         ground_truth.schema, default_rate=initial_rate, epsilon=ground_truth.epsilon
     )
     engine = engine or SearchEngine(dataset.data_graph, initial)
+    # ``workers`` drives both batch engines: the blocked initial fixpoints
+    # below and the batched per-feedback-object explanations inside every
+    # session's reformulation rounds (repro.explain.batch).
     config = SystemConfig.structure_only(
-        adjustment_factor=adjustment_factor, radius=radius, top_k=presented_k
+        adjustment_factor=adjustment_factor,
+        radius=radius,
+        top_k=presented_k,
+        explain_workers=workers,
     )
     user = SimulatedUser(
         engine,

@@ -29,15 +29,22 @@ from repro.core.config import DEFAULT_RADIUS
 from repro.datasets import load_dataset
 from repro.datasets.base import Dataset
 from repro.errors import EmptyBaseSetError, PrecomputedCoverageError, ReproError
-from repro.explain.adjustment import adjust_flows
-from repro.explain.subgraph import build_explaining_subgraph
+from repro.explain.batch import (
+    batched_adjust_flows,
+    batched_build_explaining_subgraphs,
+)
 from repro.graph.authority import AuthorityTransferSchemaGraph
 from repro.query.engine import SearchEngine
 from repro.query.query import KeywordQuery, QueryVector
 from repro.ranking.convergence import RankedResult
 from repro.ranking.precompute import PrecomputedRanker
 from repro.reformulate.combined import Reformulator
-from repro.serve.cache import ResultCache, make_key
+from repro.serve.cache import (
+    ResultCache,
+    make_key,
+    query_fingerprint,
+    rates_fingerprint,
+)
 from repro.serve.metrics import MetricsRegistry
 
 SERVE_MODES = ("auto", "live", "precomputed")
@@ -101,6 +108,12 @@ class ServeConfig:
     #: applied reformulation (blocks the reformulation request, restores the
     #: precomputed fast path for everyone else).
     precompute_rebuild: bool = False
+    #: Entries held by the explanation cache (full adjusted-flow payloads,
+    #: keyed on dataset + query + rate fingerprint + target).
+    explain_cache_max_entries: int = 256
+    #: Threads for batched explaining-subgraph extraction on the feedback
+    #: path (None = in-process; the batch engine is used either way).
+    explain_workers: int | None = None
     max_concurrency: int = 8
     deadline_seconds: float = 30.0
 
@@ -206,6 +219,14 @@ class QueryService:
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
         )
+        # Explanations are cached separately from search results: they carry
+        # full adjusted-flow edge lists, are keyed per target, and answering
+        # one from cache skips an entire live ObjectRank2 run.  The rate
+        # fingerprint in the key makes reformulated sessions self-keying.
+        self.explain_cache = ResultCache(
+            max_entries=self.config.explain_cache_max_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
         self.reformulator = Reformulator()
         self._preloaded = dict(datasets) if datasets else {}
         self._runtimes: dict[str, DatasetRuntime] = {}
@@ -228,6 +249,14 @@ class QueryService:
         )
         self._cache_misses = m.counter(
             "repro_cache_misses_total", "Search requests not answerable from cache"
+        )
+        self._explain_cache_hits = m.counter(
+            "repro_explain_cache_hits_total",
+            "Explanations served from the explanation cache",
+        )
+        self._explain_cache_misses = m.counter(
+            "repro_explain_cache_misses_total",
+            "Explanation requests not answerable from cache",
         )
         self._served_precomputed = m.counter(
             "repro_served_precomputed_total",
@@ -409,30 +438,53 @@ class QueryService:
     ) -> dict:
         """Explain why ``target`` ranks for ``query``: adjusted flow edges.
 
-        Runs live ObjectRank2 (explanations need the full converged score
-        vector, which cached top-k payloads do not carry), builds the
-        explaining subgraph under the dataset's serving rates, and runs the
-        Section 4 flow-adjustment fixpoint.
+        Consults the explanation cache first — entries are keyed on the
+        dataset, the canonical query fingerprint, the serving-rate
+        fingerprint and the target, so a repeat request skips the live
+        ObjectRank2 run entirely and a reformulation that changes the rates
+        can never be answered stale.  On a miss, runs live ObjectRank2
+        (explanations need the full converged score vector, which cached
+        top-k payloads do not carry), builds the explaining subgraph under
+        the dataset's serving rates through the batched engine's shared
+        positive-rate adjacency, and runs the Section 4 flow-adjustment
+        fixpoint.  The full sorted edge list is cached; ``max_edges`` only
+        trims the response.
         """
         start = time.perf_counter()
         self._requests.inc()
         runtime = self.runtime(dataset)
         vector = runtime.engine.query_vector(query)
         rates = runtime.rates
+        key = (
+            dataset,
+            query_fingerprint(vector),
+            rates_fingerprint(rates),
+            target,
+            self.config.radius,
+        )
+        cached = self.explain_cache.get(key)
+        if cached is not None:
+            self._explain_cache_hits.inc()
+            return self._finish_explain(cached, max_edges, "cache", start)
+        self._explain_cache_misses.inc()
+
         if deadline is not None:
             deadline.check("explanation")
         result = runtime.engine.search(vector, top_k=self.config.default_top_k, rates=rates)
         self._or_iterations.inc(result.iterations)
         graph = runtime.engine.transfer_view(rates)
         graph.index_of(target)  # raises UnknownNodeError early
-        subgraph = build_explaining_subgraph(
-            graph, list(result.ranked.base_weights), target, self.config.radius
-        )
-        explanation = adjust_flows(subgraph, result.ranked.scores)
+        explanation = batched_adjust_flows(
+            batched_build_explaining_subgraphs(
+                graph, list(result.ranked.base_weights), [target], self.config.radius
+            ),
+            result.ranked.scores,
+        )[0]
+        subgraph = explanation.subgraph
         edges = sorted(
             explanation.edge_flow_items(), key=lambda item: item[2], reverse=True
         )
-        payload = {
+        stored = {
             "dataset": dataset,
             "query": dict(vector.weights),
             "target": target,
@@ -444,9 +496,19 @@ class QueryService:
             "subgraph_edges": int(len(subgraph.edge_ids)),
             "edges": [
                 {"source": source, "target": edge_target, "flow": flow}
-                for source, edge_target, flow in edges[:max_edges]
+                for source, edge_target, flow in edges
             ],
         }
+        self.explain_cache.put(key, stored)
+        return self._finish_explain(stored, max_edges, "live", start)
+
+    def _finish_explain(
+        self, stored: dict, max_edges: int, served_from: str, start: float
+    ) -> dict:
+        """Trim a (cached) full explanation payload into one response."""
+        payload = dict(stored)
+        payload["edges"] = stored["edges"][:max_edges]
+        payload["served_from"] = served_from
         elapsed = time.perf_counter() - start
         self._latency.observe(elapsed)
         payload["elapsed_seconds"] = elapsed
@@ -486,21 +548,30 @@ class QueryService:
 
         graph = runtime.engine.transfer_view(rates)
         base_ids = list(result.ranked.base_weights)
-        explanations = []
         for node_id in relevant_ids:
             graph.index_of(node_id)  # raises UnknownNodeError early
-            if deadline is not None:
-                deadline.check(f"explanation of {node_id}")
-            subgraph = build_explaining_subgraph(
-                graph, base_ids, node_id, self.config.radius
-            )
-            explanations.append(adjust_flows(subgraph, result.ranked.scores))
+        if deadline is not None:
+            deadline.check("feedback explanations")
+        # All feedback objects are explained in one batched pass — shared
+        # subgraph adjacency, one multi-target fixpoint — bit-identical per
+        # object to the serial loop it replaced.
+        explanations = batched_adjust_flows(
+            batched_build_explaining_subgraphs(
+                graph,
+                base_ids,
+                relevant_ids,
+                self.config.radius,
+                workers=self.config.explain_workers,
+            ),
+            result.ranked.scores,
+        )
 
         reformulated = self.reformulator.reformulate(vector, rates, explanations)
         invalidated = 0
         if apply and explanations:
             runtime.apply_rates(reformulated.transfer_schema)
             invalidated = self.cache.invalidate(dataset)
+            invalidated += self.explain_cache.invalidate(dataset)
             self._invalidations.inc(invalidated)
             if self.config.precompute_rebuild:
                 # One blocked run over the vocabulary restores the
@@ -589,6 +660,10 @@ class QueryService:
         self.metrics.gauge(
             "repro_cache_expirations", "TTL expirations since startup"
         ).set(stats.expirations)
+        self.metrics.gauge(
+            "repro_explain_cache_entries",
+            "Entries currently held by the explanation cache",
+        ).set(self.explain_cache.stats().size)
         return self.metrics.render()
 
 
