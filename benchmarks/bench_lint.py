@@ -2,15 +2,20 @@
 
 The lint CI job carries a hard budget — no caching, well under ten seconds —
 so this benchmark records what the analyzer actually costs on the current
-tree (files scanned, findings kept/baselined/suppressed, wall time, and a
-per-checker breakdown) in ``benchmarks/results/lint.txt``.  Future PRs that
-add checkers or grow the tree can see at a glance whether checker cost
-regressed.
+tree (files scanned, findings kept/baselined/suppressed, wall time serial
+and with ``--jobs`` process-pool parallelism, and a per-checker breakdown)
+in ``benchmarks/results/lint.txt``.  Future PRs that add checkers or grow
+the tree can see at a glance whether checker cost regressed.
 
-Run directly or under pytest::
+Run directly, as the CI smoke hook, or under pytest::
 
     PYTHONPATH=src python benchmarks/bench_lint.py
+    PYTHONPATH=src python benchmarks/bench_lint.py --smoke
     PYTHONPATH=src python -m pytest benchmarks/bench_lint.py -s
+
+``--smoke`` skips the timing repetitions and only verifies the contract CI
+cares about: the parallel runner produces a byte-identical report to the
+serial one, inside the budget.
 
 Unlike the ranking benchmarks this one needs no numpy and no dataset — the
 analyzer is stdlib-only by design.
@@ -18,6 +23,7 @@ analyzer is stdlib-only by design.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from pathlib import Path
@@ -34,19 +40,48 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BUDGET_SECONDS = 10.0
 #: Timed repetitions; the reported wall time is the best of these.
 REPEATS = 3
+#: Worker count for the parallel runs; floored at 2 so the process-pool
+#: path is exercised even on single-CPU runners (where the speedup line
+#: will honestly read < 1x).
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _same_report(serial, parallel) -> bool:
+    return (
+        serial.findings == parallel.findings
+        and serial.baselined == parallel.baselined
+        and serial.suppressed == parallel.suppressed
+        and serial.parse_errors == parallel.parse_errors
+        and serial.files_scanned == parallel.files_scanned
+    )
 
 
 def run_benchmark() -> str:
     baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
     src = REPO_ROOT / "src"
 
-    best = None
+    best_serial = None
     report = None
     for _ in range(REPEATS):
         started = time.perf_counter()
         report = run_lint([src], baseline=baseline, root=REPO_ROOT)
         elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
+        best_serial = elapsed if best_serial is None else min(best_serial, elapsed)
+
+    best_parallel = None
+    parallel_report = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        parallel_report = run_lint(
+            [src], baseline=baseline, root=REPO_ROOT, jobs=JOBS
+        )
+        elapsed = time.perf_counter() - started
+        best_parallel = (
+            elapsed if best_parallel is None else min(best_parallel, elapsed)
+        )
+    assert _same_report(report, parallel_report), (
+        "parallel lint diverged from serial"
+    )
 
     per_checker: list[tuple[str, float, int]] = []
     for code in report.checker_codes:
@@ -59,8 +94,10 @@ def run_benchmark() -> str:
     lines = [
         f"repro lint over src/ — {report.files_scanned} files, "
         f"{len(report.checker_codes)} checkers (best of {REPEATS})",
-        f"  wall time            : {best * 1000:8.1f} ms   "
+        f"  wall time (serial)   : {best_serial * 1000:8.1f} ms   "
         f"(CI budget {BUDGET_SECONDS:.0f} s)",
+        f"  wall time (--jobs {JOBS}) : {best_parallel * 1000:8.1f} ms   "
+        f"(speedup {best_serial / best_parallel:.2f}x, report identical)",
         f"  new findings         : {len(report.findings):5d}",
         f"  baselined            : {len(report.baselined):5d}",
         f"  pragma-suppressed    : {len(report.suppressed):5d}",
@@ -75,6 +112,23 @@ def run_benchmark() -> str:
     return "\n".join(lines)
 
 
+def run_smoke() -> str:
+    """One serial + one parallel pass; assert identical and within budget."""
+    baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    src = REPO_ROOT / "src"
+    started = time.perf_counter()
+    serial = run_lint([src], baseline=baseline, root=REPO_ROOT)
+    parallel = run_lint([src], baseline=baseline, root=REPO_ROOT, jobs=JOBS)
+    elapsed = time.perf_counter() - started
+    assert _same_report(serial, parallel), "parallel lint diverged from serial"
+    assert elapsed < 2 * BUDGET_SECONDS, f"smoke pass took {elapsed:.1f}s"
+    return (
+        f"lint smoke OK: {serial.files_scanned} files, "
+        f"{len(serial.findings)} new finding(s), serial == --jobs {JOBS}, "
+        f"{elapsed:.2f}s total"
+    )
+
+
 def test_lint_runtime_within_ci_budget():
     """Pytest entry: the analyzer stays inside the CI job's time budget."""
     text = run_benchmark()
@@ -84,4 +138,7 @@ def test_lint_runtime_within_ci_budget():
 
 
 if __name__ == "__main__":
-    write_result("lint", run_benchmark())
+    if "--smoke" in sys.argv[1:]:
+        print(run_smoke())
+    else:
+        write_result("lint", run_benchmark())

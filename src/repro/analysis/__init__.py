@@ -4,19 +4,27 @@ Every silent-correctness bug fixed in PR 2 — the last-write-wins fancy
 indexing in ``personalized_pagerank``, the ``transfer_view`` build-once
 latch, the shared-rates mutation in ``SearchEngine`` — belongs to a
 statically detectable pattern class.  This package encodes those classes as
-AST checkers (RL001–RL006, see :mod:`repro.analysis.checkers`) so the next
-occurrence is caught in review, not in production rankings.
+AST checkers (RL001–RL006) and, since PR 5, *flow-sensitive* checkers
+(RL007–RL009, see :mod:`repro.analysis.checkers`) that reason over
+per-function control-flow graphs — so the next occurrence is caught in
+review, not in production rankings.
 
 Layers:
 
 * :mod:`repro.analysis.findings` — the :class:`Finding` record;
 * :mod:`repro.analysis.base` — the checker plugin API and registry;
+* :mod:`repro.analysis.cfg` — intraprocedural CFG construction;
+* :mod:`repro.analysis.dataflow` — the worklist fixpoint solver plus the
+  reaching-definitions / live-variables reference instances;
+* :mod:`repro.analysis.lockset` — the must-held-lockset analysis RL007 runs;
 * :mod:`repro.analysis.pragmas` — ``# repro-lint: ignore[RL001]`` inline
   suppressions;
 * :mod:`repro.analysis.baseline` — the ``.repro-lint-baseline.json``
   accepted-findings file;
-* :mod:`repro.analysis.runner` — file discovery and the lint driver;
-* :mod:`repro.analysis.reporting` — text / JSON / GitHub-annotation output.
+* :mod:`repro.analysis.runner` — file discovery and the (optionally
+  process-parallel) lint driver;
+* :mod:`repro.analysis.reporting` — text / JSON / GitHub-annotation / SARIF
+  output.
 """
 
 from repro.analysis.base import (
@@ -25,6 +33,22 @@ from repro.analysis.base import (
     all_checkers,
     checker_codes,
     register,
+)
+from repro.analysis.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    Edge,
+    Header,
+    WithEnter,
+    WithExit,
+    build_cfg,
+)
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    LiveVariables,
+    ReachingDefinitions,
+    Solution,
+    solve,
 )
 from repro.analysis.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -44,6 +68,18 @@ __all__ = [
     "all_checkers",
     "checker_codes",
     "register",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Edge",
+    "Header",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "DataflowProblem",
+    "LiveVariables",
+    "ReachingDefinitions",
+    "Solution",
+    "solve",
     "Baseline",
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",

@@ -29,6 +29,11 @@ class SourceFile:
     text: str
     tree: ast.Module
     lines: list[str] = field(default_factory=list)
+    #: Per-function CFG cache, keyed by ``id(func_node)`` — built lazily by
+    #: :meth:`cfg_for` so a run with only per-node checkers never pays for
+    #: graph construction, and flow-sensitive checkers share one graph per
+    #: function instead of rebuilding it per rule.
+    _cfgs: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def parse(cls, path: str, text: str) -> "SourceFile":
@@ -40,6 +45,22 @@ class SourceFile:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method definition in the module, outermost first."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def cfg_for(self, func: "ast.FunctionDef | ast.AsyncFunctionDef"):
+        """The (cached) control-flow graph of one function in this module."""
+        from repro.analysis.cfg import build_cfg
+
+        cfg = self._cfgs.get(id(func))
+        if cfg is None:
+            cfg = build_cfg(func)
+            self._cfgs[id(func)] = cfg
+        return cfg
 
 
 class Checker:
@@ -61,6 +82,7 @@ class Checker:
         node: ast.AST,
         message: str,
         suggestion: str = "",
+        metadata: dict | None = None,
     ) -> Finding:
         """A :class:`Finding` anchored at ``node`` with fingerprint context."""
         lineno = getattr(node, "lineno", 1)
@@ -72,6 +94,7 @@ class Checker:
             suggestion=suggestion,
             column=getattr(node, "col_offset", 0),
             source_line=source.line_at(lineno),
+            metadata=dict(metadata) if metadata else {},
         )
 
 

@@ -1,4 +1,4 @@
-"""Built-in checkers; importing this package registers RL001–RL006.
+"""Built-in checkers; importing this package registers RL001–RL009.
 
 ============ ========================== =====================================
 Code         Name                       Hazard class
@@ -15,21 +15,38 @@ Code         Name                       Hazard class
                                         literals in numeric code
 ``RL006``    transfer-rate-invariant    negative or non-normalized literal
                                         transfer rates at schema build sites
+``RL007``    lockset-discipline         guarded attribute accessed where the
+                                        computed lockset lacks its lock;
+                                        lock-ordering cycles across methods
+``RL008``    unbounded-fixpoint-loop    residual-testing ``while`` loops with
+                                        no iteration cap on any path
+``RL009``    use-after-invalidate       cached attribute read on a path after
+                                        ``None``/clear with no rebuild
 ============ ========================== =====================================
+
+RL001–RL006 are per-node AST visitors; RL007–RL009 are flow-sensitive — they
+consume the per-function CFGs of :mod:`repro.analysis.cfg` through the
+fixpoint solver of :mod:`repro.analysis.dataflow`.
 """
 
 from repro.analysis.checkers.cache_latch import CacheLatchChecker
 from repro.analysis.checkers.duplicate_index import DuplicateIndexWriteChecker
+from repro.analysis.checkers.fixpoint_loops import FixpointLoopChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.lockset_discipline import LocksetDisciplineChecker
 from repro.analysis.checkers.param_mutation import ParamMutationChecker
 from repro.analysis.checkers.rate_invariants import RateInvariantChecker
+from repro.analysis.checkers.use_after_invalidate import UseAfterInvalidateChecker
 
 __all__ = [
     "CacheLatchChecker",
     "DuplicateIndexWriteChecker",
+    "FixpointLoopChecker",
     "FloatEqualityChecker",
     "LockDisciplineChecker",
+    "LocksetDisciplineChecker",
     "ParamMutationChecker",
     "RateInvariantChecker",
+    "UseAfterInvalidateChecker",
 ]

@@ -65,10 +65,10 @@ class LockDisciplineChecker(Checker):
     def _check_class(
         self, source: SourceFile, class_def: ast.ClassDef
     ) -> Iterator[Finding]:
-        locks = _lock_attributes(class_def)
+        locks = lock_attributes(class_def)
         if not locks:
             return
-        guarded = _guarded_attributes(source, class_def, locks)
+        guarded = guarded_attributes(source, class_def, locks)
         if not guarded:
             return
         for method in class_def.body:
@@ -134,7 +134,7 @@ def _walk_with_locks(
         yield from _walk_with_locks(child, held)
 
 
-def _lock_attributes(class_def: ast.ClassDef) -> set[str]:
+def lock_attributes(class_def: ast.ClassDef) -> set[str]:
     """Attributes assigned from a lock factory anywhere in the class."""
     locks: set[str] = set()
     for node in ast.walk(class_def):
@@ -146,7 +146,7 @@ def _lock_attributes(class_def: ast.ClassDef) -> set[str]:
     return locks
 
 
-def _guarded_attributes(
+def guarded_attributes(
     source: SourceFile, class_def: ast.ClassDef, locks: set[str]
 ) -> dict[str, str]:
     """attribute name -> lock name, from naming convention + annotations."""

@@ -27,6 +27,11 @@ class Finding:
     column: int = field(default=0, compare=False)
     #: The stripped source line the finding points at (fingerprint input).
     source_line: str = field(default="", compare=False)
+    #: Rule-specific extras (RL007: the lock name; RL008: the loop's line
+    #: span) — reporters may surface it, but it is deliberately *not* part
+    #: of :meth:`fingerprint`, so richer metadata never invalidates an
+    #: existing baseline entry.
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
 
     def fingerprint(self) -> str:
         """Stable identity for baseline matching (line-number independent)."""
@@ -38,7 +43,7 @@ class Finding:
 
     def as_dict(self) -> dict:
         """JSON-ready representation (the ``--format json`` reporter's rows)."""
-        return {
+        row = {
             "file": self.file,
             "line": self.line,
             "column": self.column,
@@ -47,3 +52,6 @@ class Finding:
             "suggestion": self.suggestion,
             "fingerprint": self.fingerprint(),
         }
+        if self.metadata:
+            row["metadata"] = dict(self.metadata)
+        return row

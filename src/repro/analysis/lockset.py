@@ -1,0 +1,301 @@
+"""Lockset computation over the CFG: which ``self`` locks are held where.
+
+The Eraser-style core of RL007: a forward *must* analysis whose state is the
+set of instance locks certainly held at a program point — ``None`` stands
+for ⊤ (unreachable-so-far), join is set intersection, and the
+:class:`~repro.analysis.cfg.WithEnter`/:class:`~repro.analysis.cfg.WithExit`
+markers the CFG builder emits are the acquire/release transfer points
+(including the synthetic releases on ``break``/``continue``/``return``
+paths that leave a ``with`` early).
+
+Lock expressions are resolved through reaching definitions, so the aliased
+form RL003 cannot see::
+
+    lock = self._rates_lock
+    with lock:                 # holds self._rates_lock here
+        self.current_rates = rates
+
+counts as holding ``self._rates_lock`` — but only when *every* definition
+of ``lock`` reaching the ``with`` is an assignment from that same lock
+attribute; a name with mixed reaching definitions resolves to nothing and
+the region conservatively guards nothing.
+
+:func:`analyze_method_locksets` also records the **acquisition order**
+edges (held-lock, acquired-lock) that RL007 feeds into a per-class order
+graph for deadlock-cycle detection.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import is_self_attribute
+from repro.analysis.cfg import (
+    BasicBlock,
+    BlockItem,
+    ControlFlowGraph,
+    Header,
+    WithEnter,
+    WithExit,
+)
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    ReachingDefinitions,
+    Solution,
+    solve,
+)
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """``acquired`` was taken while ``held`` was already in the lockset."""
+
+    held: str
+    acquired: str
+    method: str
+    node: ast.expr
+
+
+class LocksetProblem(DataflowProblem):
+    """Forward must-analysis of held instance locks.
+
+    States: ``None`` (⊤, no path reached this point yet) or a frozenset of
+    lock attribute names.  ``resolved`` maps ``id(WithEnter/WithExit)``
+    markers to the lock they acquire/release; unresolved markers are
+    no-ops, which under-approximates the lockset and never hides a real
+    unguarded access.
+    """
+
+    direction = "forward"
+
+    def __init__(self, resolved: dict[int, str]) -> None:
+        self.resolved = resolved
+
+    def initial(self) -> frozenset | None:
+        return None
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def join(self, left: frozenset | None, right: frozenset | None):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left & right
+
+    def transfer_item(self, item: BlockItem, state: frozenset | None):
+        if state is None:
+            return None
+        lock = self.resolved.get(id(item))
+        if lock is None:
+            return state
+        if isinstance(item, WithEnter):
+            return state | {lock}
+        if isinstance(item, WithExit):
+            return state - {lock}
+        return state
+
+
+@dataclass
+class MethodLocksets:
+    """Everything RL007 needs about one method's lock behaviour."""
+
+    cfg: ControlFlowGraph
+    solution: Solution
+    resolved: dict[int, str]
+    order_edges: list[OrderEdge] = field(default_factory=list)
+
+    def held_at_items(self):
+        """Yield ``(block, item, lockset_before_item)`` across the method."""
+        for block in self.cfg.blocks:
+            states = self.solution.states_through(block)
+            for item, state in zip(block.body, states):
+                yield block, item, state
+
+    def held_at_test(self, block: BasicBlock) -> frozenset | None:
+        """The lockset when ``block.test`` is evaluated (after the body)."""
+        return self.solution.state_out_of(block)
+
+
+def analyze_method_locksets(
+    cfg: ControlFlowGraph, locks: set[str], method_name: str = ""
+) -> MethodLocksets:
+    """Solve the lockset analysis for one method against ``locks``."""
+    resolved = _resolve_with_markers(cfg, locks)
+    problem = LocksetProblem(resolved)
+    solution = solve(cfg, problem)
+    result = MethodLocksets(cfg=cfg, solution=solution, resolved=resolved)
+    for _block, item, state in result.held_at_items():
+        if not isinstance(item, WithEnter) or state is None:
+            continue
+        acquired = resolved.get(id(item))
+        if acquired is None:
+            continue
+        for held in sorted(state - {acquired}):
+            result.order_edges.append(
+                OrderEdge(
+                    held=held,
+                    acquired=acquired,
+                    method=method_name,
+                    node=item.item.context_expr,
+                )
+            )
+    return result
+
+
+def _resolve_with_markers(
+    cfg: ControlFlowGraph, locks: set[str]
+) -> dict[int, str]:
+    """Map every WithEnter/WithExit marker to the lock it manipulates.
+
+    Direct ``with self._x_lock:`` resolves syntactically; ``with alias:``
+    resolves through reaching definitions when every reaching definition of
+    the alias assigns the same lock attribute.  Enter and exit markers of
+    the same ``with`` item always resolve identically (the runtime releases
+    the object it acquired, regardless of later rebinding), so exits are
+    resolved by pairing, not by dataflow at the exit point.
+    """
+    resolved: dict[int, str] = {}
+    by_item: dict[int, str] = {}
+    needs_alias = any(
+        isinstance(item, WithEnter)
+        and isinstance(item.item.context_expr, ast.Name)
+        for _b, _p, item in cfg.walk_items()
+    )
+    reaching = ReachingDefinitions(cfg) if needs_alias else None
+    rd_solution = solve(cfg, reaching) if reaching is not None else None
+
+    for block in cfg.blocks:
+        rd_states = (
+            rd_solution.states_through(block) if rd_solution is not None else None
+        )
+        for position, item in enumerate(block.body):
+            if isinstance(item, WithEnter):
+                lock = _resolve_lock_expr(
+                    item.item.context_expr,
+                    locks,
+                    reaching,
+                    rd_states[position] if rd_states is not None else None,
+                )
+                if lock is not None:
+                    resolved[id(item)] = lock
+                    by_item[id(item.item)] = lock
+            elif isinstance(item, WithExit):
+                lock = by_item.get(id(item.item))
+                if lock is not None:
+                    resolved[id(item)] = lock
+    return resolved
+
+
+def _resolve_lock_expr(
+    expr: ast.expr,
+    locks: set[str],
+    reaching: ReachingDefinitions | None,
+    rd_state: frozenset | None,
+) -> str | None:
+    """The lock attribute an acquire expression denotes, if provable."""
+    if is_self_attribute(expr):
+        attr = expr.attr  # type: ignore[union-attr]
+        return attr if attr in locks else None
+    if (
+        isinstance(expr, ast.Name)
+        and reaching is not None
+        and rd_state is not None
+    ):
+        definitions = reaching.definitions_of(rd_state, expr.id)
+        if not definitions:
+            return None
+        attrs = set()
+        for definition in definitions:
+            attr = _assigned_lock_attr(definition, expr.id, locks)
+            if attr is None:
+                return None
+            attrs.add(attr)
+        if len(attrs) == 1:
+            return attrs.pop()
+    return None
+
+
+def _assigned_lock_attr(
+    definition: BlockItem | None, name: str, locks: set[str]
+) -> str | None:
+    """``attr`` when ``definition`` is ``name = self.<attr>`` for a lock."""
+    if not isinstance(definition, ast.Assign):
+        return None
+    if not any(
+        isinstance(target, ast.Name) and target.id == name
+        for target in definition.targets
+    ):
+        return None
+    if is_self_attribute(definition.value):
+        attr = definition.value.attr  # type: ignore[union-attr]
+        return attr if attr in locks else None
+    return None
+
+
+def self_attribute_accesses(item: BlockItem) -> list[ast.Attribute]:
+    """``self.<attr>`` accesses an item performs, header-aware.
+
+    ``if``/``while`` headers contribute nothing here — their test
+    expressions live on the condition blocks' ``test`` and are checked
+    against the end-of-block lockset separately.  ``with`` headers
+    contribute their context expressions (the lock attribute itself is a
+    legitimate unguarded read, but a *guarded* attribute inside a context
+    expression is still an access).
+    """
+    if isinstance(item, Header):
+        stmt = item.stmt
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            roots: list[ast.AST] = [stmt.iter, stmt.target]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            roots = [with_item.context_expr for with_item in stmt.items]
+        else:
+            return []
+    elif isinstance(item, (WithEnter, WithExit)):
+        return []
+    else:
+        roots = [item]
+    accesses = []
+    for root in roots:
+        for node in ast.walk(root):
+            if is_self_attribute(node):
+                accesses.append(node)
+    return accesses
+
+
+def order_cycles(edges: list[OrderEdge]) -> list[OrderEdge]:
+    """The edges that participate in an acquisition-order cycle.
+
+    An edge ``held -> acquired`` is cyclic when the order graph also lets
+    ``acquired`` (transitively) precede ``held`` — the classic two-thread
+    deadlock shape.  Returned in input order, deduplicated by lock pair.
+    """
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    cyclic: list[OrderEdge] = []
+    reported: set[tuple[str, str]] = set()
+    for edge in edges:
+        pair = (edge.held, edge.acquired)
+        if pair in reported:
+            continue
+        if reaches(edge.acquired, edge.held):
+            reported.add(pair)
+            cyclic.append(edge)
+    return cyclic

@@ -10,6 +10,7 @@ cannot audit is a suppression you cannot trust.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -85,11 +86,36 @@ def lint_source(
     return kept, suppressed
 
 
+#: (display name, kept findings, pragma-suppressed findings, parse error).
+_FileResult = tuple[str, list[Finding], list[Finding], "str | None"]
+
+
+def _lint_one_file(file_path: str, display: str, codes: list[str] | None) -> _FileResult:
+    """Lint one file from scratch — the unit of work for worker processes.
+
+    Module-level (not a closure) and fed plain strings so it pickles;
+    checker *codes* cross the process boundary, instances are rebuilt from
+    the registry on the worker side.
+    """
+    try:
+        text = Path(file_path).read_text(encoding="utf-8")
+        source = SourceFile.parse(display, text)
+    except (OSError, SyntaxError, ValueError) as error:
+        return display, [], [], str(error)
+    kept, suppressed = lint_source(source, all_checkers(codes))
+    return display, kept, suppressed, None
+
+
+def _lint_one_file_job(job: tuple[str, str, list[str] | None]) -> _FileResult:
+    return _lint_one_file(*job)
+
+
 def run_lint(
     paths: list[str | Path],
     checkers: list[Checker] | None = None,
     baseline: Baseline | None = None,
     root: str | Path | None = None,
+    jobs: int | None = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) and return the full report.
 
@@ -97,6 +123,12 @@ def run_lint(
     current working directory when paths are relative, else the paths as
     given) — baselines store those names, so runs from the repo root and
     runs from elsewhere agree as long as ``root`` points at the repo.
+
+    ``jobs`` > 1 fans the per-file analysis out over that many worker
+    processes (files are independent, so the report is byte-identical to a
+    serial run); ``None``/``0``/``1`` stay in-process.  The parallel path
+    rebuilds checkers from the registry by code, so explicitly passed
+    *unregistered* checker instances fall back to serial.
     """
     started = time.perf_counter()
     active = checkers if checkers is not None else all_checkers()
@@ -104,16 +136,16 @@ def run_lint(
     report = LintReport(checker_codes=[checker.code for checker in active])
 
     root_path = Path(root) if root is not None else None
-    for file_path in discover_files(paths):
-        display = _display_name(file_path, root_path)
-        try:
-            text = file_path.read_text(encoding="utf-8")
-            source = SourceFile.parse(display, text)
-        except (OSError, SyntaxError, ValueError) as error:
-            report.parse_errors.append((display, str(error)))
+    files = [
+        (file_path, _display_name(file_path, root_path))
+        for file_path in discover_files(paths)
+    ]
+
+    for display, kept, suppressed, error in _file_results(files, active, jobs):
+        if error is not None:
+            report.parse_errors.append((display, error))
             continue
         report.files_scanned += 1
-        kept, suppressed = lint_source(source, active)
         report.suppressed.extend(suppressed)
         for finding in kept:
             if accepted.contains(finding):
@@ -126,6 +158,36 @@ def run_lint(
     report.suppressed.sort()
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+def _file_results(
+    files: list[tuple[Path, str]],
+    active: list[Checker],
+    jobs: int | None,
+) -> list[_FileResult]:
+    if jobs is not None and jobs > 1 and len(files) > 1:
+        codes = [checker.code for checker in active]
+        try:
+            rebuilt = all_checkers(codes)
+        except ValueError:
+            rebuilt = None  # unregistered checker instance: cannot ship codes
+        if rebuilt is not None and len(rebuilt) == len(active):
+            work = [(str(path), display, codes) for path, display in files]
+            chunksize = max(1, len(work) // (jobs * 4))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(
+                    pool.map(_lint_one_file_job, work, chunksize=chunksize)
+                )
+    results: list[_FileResult] = []
+    for path, display in files:
+        try:
+            source = SourceFile.parse(display, path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError) as error:
+            results.append((display, [], [], str(error)))
+            continue
+        kept, suppressed = lint_source(source, active)
+        results.append((display, kept, suppressed, None))
+    return results
 
 
 def _display_name(file_path: Path, root: Path | None) -> str:

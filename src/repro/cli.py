@@ -16,8 +16,10 @@ equivalent surface.  Subcommands:
   build through the blocked multi-restart engine (``repro.ranking.batch``);
 * ``repro serve [datasets...]`` — concurrent HTTP query service with result
   caching, admission control and Prometheus metrics (see ``repro.serve``);
-* ``repro lint [paths...]`` — the project's AST invariant linter (RL001–RL006,
-  see ``repro.analysis``) with text/JSON/GitHub output and baseline support.
+* ``repro lint [paths...]`` — the project's invariant linter (RL001–RL009:
+  six AST rules plus the flow-sensitive RL007–RL009, see ``repro.analysis``)
+  with text/JSON/GitHub/SARIF output, ``--jobs N`` process-pool parallelism
+  and baseline support.
 
 All subcommands accept ``--scale`` and ``--seed`` for the dataset generator
 and ``--top-k`` for the result-list length.
@@ -26,6 +28,7 @@ and ``--top-k`` for the result-list length.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -228,7 +231,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     baseline = Baseline() if args.no_baseline else load_baseline(args.baseline)
-    report = run_lint(args.paths, checkers=checkers, baseline=baseline)
+    jobs = args.jobs
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    report = run_lint(args.paths, checkers=checkers, baseline=baseline, jobs=jobs)
 
     if args.write_baseline:
         accepted = report.findings + report.baselined
@@ -380,14 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=cmd_serve)
 
     lint = sub.add_parser(
-        "lint", help="run the AST invariant checkers (RL001-RL006)"
+        "lint", help="run the invariant checkers (RL001-RL009)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
     lint.add_argument(
-        "--format", choices=["text", "json", "github"], default="text",
-        help="report format (github emits workflow-command annotations)",
+        "--format", choices=["text", "json", "github", "sarif"], default="text",
+        help="report format (github emits workflow-command annotations; "
+        "sarif emits a SARIF 2.1.0 log for code-scanning uploads)",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="lint files in N worker processes (default: in-process; "
+        "0 = one per CPU)",
     )
     lint.add_argument(
         "--baseline", default=".repro-lint-baseline.json",

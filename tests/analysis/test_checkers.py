@@ -24,9 +24,10 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert checker_codes() == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009",
         ]
 
     def test_unknown_code_rejected(self):

@@ -108,6 +108,146 @@ class TestReporters:
             render(report, "xml")
 
 
+class TestParallelRunner:
+    """``jobs=N`` fans files out over processes; the report must not change."""
+
+    def test_parallel_report_matches_serial(self, messy_tree):
+        serial = run_lint([messy_tree / "pkg"], root=messy_tree)
+        parallel = run_lint([messy_tree / "pkg"], root=messy_tree, jobs=2)
+        assert parallel.findings == serial.findings
+        assert parallel.baselined == serial.baselined
+        assert parallel.suppressed == serial.suppressed
+        assert parallel.parse_errors == serial.parse_errors
+        assert parallel.files_scanned == serial.files_scanned
+
+    def test_jobs_one_and_none_stay_serial(self, messy_tree):
+        for jobs in (None, 0, 1):
+            report = run_lint([messy_tree / "pkg"], root=messy_tree, jobs=jobs)
+            assert [f.code for f in report.findings] == ["RL004"]
+
+    def test_parallel_applies_the_baseline_in_the_parent(self, messy_tree):
+        first = run_lint([messy_tree / "pkg" / "bad.py"], root=messy_tree)
+        baseline = Baseline.from_findings(first.findings)
+        report = run_lint(
+            [messy_tree / "pkg" / "bad.py"],
+            baseline=baseline,
+            root=messy_tree,
+            jobs=2,
+        )
+        assert report.findings == []
+        assert [f.code for f in report.baselined] == ["RL004"]
+
+    def test_unregistered_checker_falls_back_to_serial(self, messy_tree):
+        from repro.analysis.base import Checker
+
+        class Custom(Checker):  # deliberately NOT @register-ed
+            code = "ZZ999"
+            name = "custom"
+            summary = "test-only"
+
+            def check(self, source):
+                yield self.finding(source, source.tree.body[0], "custom hit", "")
+
+        report = run_lint(
+            [messy_tree / "pkg" / "bad.py"],
+            checkers=[Custom()],
+            root=messy_tree,
+            jobs=2,
+        )
+        assert [f.code for f in report.findings] == ["ZZ999"]
+
+
+class TestSarifReporter:
+    @pytest.fixture
+    def sarif(self, messy_tree):
+        report = run_lint([messy_tree / "pkg"], root=messy_tree)
+        return json.loads(render(report, "sarif"))
+
+    def test_log_shape_and_rules(self, sarif):
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        codes = [rule["id"] for rule in driver["rules"]]
+        assert codes == [f"RL00{i}" for i in range(1, 10)]
+        assert all(rule["shortDescription"]["text"] for rule in driver["rules"])
+
+    def test_results_carry_location_and_fingerprint(self, sarif):
+        (run,) = sarif["runs"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "RL004"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "pkg/bad.py"
+        assert location["region"]["startLine"] == 2
+        assert result["partialFingerprints"]["reproLintFingerprint/v1"]
+        assert result["ruleIndex"] == 3  # RL004 in the registry ordering
+
+    def test_parse_errors_become_notifications(self, sarif):
+        (run,) = sarif["runs"]
+        (invocation,) = run["invocations"]
+        assert invocation["executionSuccessful"] is False
+        (notification,) = invocation["toolExecutionNotifications"]
+        assert "parse error" in notification["message"]["text"]
+
+    def test_suppressed_and_baselined_results_are_marked(self, messy_tree):
+        bad = messy_tree / "pkg" / "bad.py"
+        first = run_lint([bad], root=messy_tree)
+        baseline = Baseline.from_findings(first.findings)
+        (messy_tree / "pkg" / "quiet.py").write_text(
+            "def f(rates):\n"
+            "    rates['x'] = 1.0  # repro-lint: ignore[RL004] test fixture\n"
+        )
+        report = run_lint([messy_tree / "pkg"], baseline=baseline, root=messy_tree)
+        payload = json.loads(render(report, "sarif"))
+        kinds = {
+            result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]:
+            [s["kind"] for s in result.get("suppressions", [])]
+            for result in payload["runs"][0]["results"]
+        }
+        assert kinds["pkg/bad.py"] == ["external"]
+        assert kinds["pkg/quiet.py"] == ["inSource"]
+
+    def test_metadata_surfaces_as_result_properties(self, tmp_path):
+        (tmp_path / "loop.py").write_text(
+            "def iterate(x, tol):\n"
+            "    residual = 1.0\n"
+            "    while residual > tol:\n"
+            "        x, residual = step(x)\n"
+            "    return x\n"
+        )
+        report = run_lint([tmp_path], root=tmp_path)
+        payload = json.loads(render(report, "sarif"))
+        (result,) = [
+            r for r in payload["runs"][0]["results"] if r["ruleId"] == "RL008"
+        ]
+        assert result["properties"]["loop_span"] == [3, 4]
+
+
+class TestBaselineMetadataStability:
+    """Richer finding metadata must never invalidate a baseline entry."""
+
+    def test_fingerprint_ignores_metadata(self):
+        from repro.analysis.findings import Finding
+
+        bare = Finding("f.py", 3, "RL007", "msg", source_line="x = self._rates")
+        rich = Finding(
+            "f.py", 3, "RL007", "msg", source_line="x = self._rates",
+            metadata={"lock": "_rates_lock"},
+        )
+        assert bare.fingerprint() == rich.fingerprint()
+
+    def test_baseline_written_before_metadata_still_matches(self):
+        from repro.analysis.findings import Finding
+
+        old = Finding("f.py", 3, "RL008", "msg", source_line="while r > tol:")
+        baseline = Baseline.from_findings([old])
+        new = Finding(
+            "f.py", 9, "RL008", "msg", source_line="while r > tol:",
+            metadata={"loop_span": [9, 12]},
+        )
+        assert baseline.contains(new)  # line drift + new metadata: still known
+
+
 class TestRepositorySelfLint:
     """The analyzer runs clean over its own repository (ISSUE 3 gate)."""
 
@@ -115,6 +255,14 @@ class TestRepositorySelfLint:
         baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
         report = run_lint([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
         assert report.parse_errors == []
+        assert report.findings == [], render(report, "text")
+
+    def test_src_is_clean_with_an_empty_baseline_and_all_nine_rules(self):
+        """The PR 5 self-lint gate: nothing hides behind the baseline."""
+        report = run_lint(
+            [REPO_ROOT / "src"], baseline=Baseline(), root=REPO_ROOT
+        )
+        assert len(report.checker_codes) == 9
         assert report.findings == [], render(report, "text")
 
     def test_serve_package_is_clean_without_any_baseline(self):
@@ -141,8 +289,8 @@ class TestRepositorySelfLint:
 
         from repro.analysis.base import SourceFile
         from repro.analysis.checkers.lock_discipline import (
-            _guarded_attributes,
-            _lock_attributes,
+            guarded_attributes,
+            lock_attributes,
         )
 
         path = REPO_ROOT / "src" / "repro" / "serve" / "service.py"
@@ -150,9 +298,9 @@ class TestRepositorySelfLint:
         guarded = {}
         for node in ast.walk(source.tree):
             if isinstance(node, ast.ClassDef):
-                locks = _lock_attributes(node)
+                locks = lock_attributes(node)
                 if locks:
-                    guarded.update(_guarded_attributes(source, node, locks))
+                    guarded.update(guarded_attributes(source, node, locks))
         assert guarded.get("current_rates") == "_rates_lock"
         assert guarded.get("reformulations_applied") == "_rates_lock"
         assert guarded.get("_precomputed") == "_precompute_lock"
