@@ -250,8 +250,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """The ``repro serve`` subcommand: boot the HTTP query service."""
-    from repro.serve import QueryService, ServeConfig, create_server, serve_forever
+    """The ``repro serve`` subcommand: boot the HTTP query service.
+
+    ``--workers N`` (N >= 2) starts the prefork cluster instead: N worker
+    processes share one pre-bound listener and, with ``--store DIR``, mmap
+    the same published score-store generation (see :mod:`repro.serve.cluster`
+    and DESIGN.md).  Both modes drain in-flight requests on SIGTERM/SIGINT.
+    """
+    import threading
+
+    from repro.serve import (
+        QueryService,
+        ServeConfig,
+        create_server,
+        serve_until_shutdown,
+    )
 
     config = ServeConfig(
         datasets=tuple(args.datasets),
@@ -263,7 +276,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
         precompute=not args.no_precompute,
         max_concurrency=args.max_concurrency,
         deadline_seconds=args.deadline,
+        store_dir=args.store,
     )
+
+    if args.workers and args.workers > 1:
+        import signal
+
+        from repro.serve.cluster import ClusterConfig, ClusterSupervisor
+
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                serve=config,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                drain_timeout=args.drain_timeout,
+                admin_port=args.admin_port,
+                quiet=args.quiet,
+            )
+        )
+        print(
+            f"preloading {', '.join(config.datasets)} and forking "
+            f"{args.workers} workers ...",
+            file=sys.stderr,
+        )
+        supervisor.start()
+        admin = (
+            f"; admin on 127.0.0.1:{args.admin_port}" if args.admin_port else ""
+        )
+        print(
+            f"repro-serve cluster listening on {supervisor.url} "
+            f"({args.workers} workers"
+            + (f"; store: {args.store}" if args.store else "")
+            + admin
+            + ")"
+        )
+        stop = threading.Event()
+        previous = {
+            s: signal.signal(s, lambda *_: stop.set())
+            for s in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            stop.wait()
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+        print("draining workers ...", file=sys.stderr)
+        return 0 if supervisor.stop() else 1
+
     service = QueryService(config)
     if not args.no_preload:
         for name in config.datasets:
@@ -275,7 +335,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(datasets: {', '.join(config.datasets)}; "
         f"endpoints: /search /explain /feedback/reformulate /healthz /metrics)"
     )
-    serve_forever(server)
+    _signum, drained = serve_until_shutdown(
+        server, drain_timeout=args.drain_timeout
+    )
+    if not drained:
+        print("drain timeout: closed with requests in flight", file=sys.stderr)
+    return 0 if drained else 1
+
+
+def cmd_store_build(args: argparse.Namespace) -> int:
+    """The ``repro store build`` subcommand: publish the next generation.
+
+    Runs the [BHP04] precomputation and writes it as a checksummed mmap-able
+    slab under ``--store DIR/<dataset>/``, then atomically flips the
+    ``CURRENT`` manifest — live workers of ``repro serve --workers N`` pick
+    the new generation up between requests, without a restart.
+    """
+    import time
+    from pathlib import Path
+
+    from repro.datasets import load_dataset
+    from repro.query.engine import SearchEngine
+    from repro.ranking.precompute import PrecomputedRanker
+    from repro.store import build_and_publish, store_path
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+    start = time.perf_counter()
+    ranker = PrecomputedRanker(
+        engine.graph,
+        engine.index,
+        keywords=args.keywords or None,
+        min_document_frequency=args.min_df,
+        workers=args.workers,
+    )
+    built = time.perf_counter() - start
+    root = Path(args.store) / args.dataset
+    manifest = build_and_publish(root, ranker, args.dataset, keep=args.keep)
+    size = store_path(root, manifest.generation).stat().st_size
+    print(
+        f"published {root}/{manifest.filename} (generation {manifest.generation}, "
+        f"{len(ranker.keywords)} keywords, {size / 1e6:.1f} MB, "
+        f"precompute {built:.2f}s)"
+    )
+    return 0
+
+
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    """The ``repro store inspect`` subcommand: what a store directory holds."""
+    from pathlib import Path
+
+    from repro.store import ScoreStore, list_generations, read_manifest, store_path
+
+    root = Path(args.store) / args.dataset
+    generations = list_generations(root)
+    manifest = read_manifest(root)
+    if manifest is None:
+        print(f"{root}: nothing published (generations on disk: {generations})")
+        return 1
+    print(f"store:       {root}")
+    print(f"generations: {generations} (current: {manifest.generation})")
+    with ScoreStore(root / manifest.filename) as store:
+        size = store_path(root, manifest.generation).stat().st_size
+        print(f"file:        {manifest.filename} ({size / 1e6:.1f} MB)")
+        print(f"dataset:     {store.dataset}")
+        print(f"matrix:      {len(store.keywords)} keywords x {len(store.node_ids)} nodes")
+        print(f"damping:     {store.damping}")
+        print(f"rates:       " + ", ".join(
+            f"{name}={rate:.3f}"
+            for name, rate in zip(store.edge_types, store.rates)
+        ))
+        print(f"build:       {store.build_iterations} power-iteration steps")
+        store.verify()
+        print("checksums:   ok")
     return 0
 
 
@@ -383,7 +515,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preload", action="store_true", help="build dataset engines lazily on first request"
     )
     serve.add_argument("--quiet", action="store_true", help="suppress per-request access log")
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="prefork worker processes sharing one listener (default: 1 = "
+        "single process); workers mmap the --store generations zero-copy",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serve the precomputed fast path from mmap score stores under "
+        "DIR/<dataset>/ (build them with `repro store build`)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--admin-port", type=int, default=None,
+        help="with --workers: supervisor admin port (aggregated /metrics, "
+        "/healthz, /workers on 127.0.0.1)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    store = sub.add_parser(
+        "store", help="build / inspect mmap-able score stores (repro.store)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="precompute and publish the next store generation"
+    )
+    store_build.add_argument("dataset", help="a name from `repro datasets`")
+    store_build.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="store root; the slab goes to DIR/<dataset>/store.gen-K.slab",
+    )
+    store_build.add_argument("--scale", type=float, default=1.0)
+    store_build.add_argument("--seed", type=int, default=7)
+    store_build.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the blocked precompute (default: in-process)",
+    )
+    store_build.add_argument(
+        "--min-df", type=int, default=2,
+        help="precompute only terms with document frequency >= N",
+    )
+    store_build.add_argument(
+        "--keywords", nargs="*", default=None,
+        help="explicit keyword list (default: the whole filtered vocabulary)",
+    )
+    store_build.add_argument(
+        "--keep", type=int, default=2,
+        help="generations retained after publishing (older ones are pruned)",
+    )
+    store_build.set_defaults(func=cmd_store_build)
+    store_inspect = store_sub.add_parser(
+        "inspect", help="show a store's generations and verify its checksums"
+    )
+    store_inspect.add_argument("dataset", help="dataset subdirectory to inspect")
+    store_inspect.add_argument(
+        "--store", required=True, metavar="DIR", help="store root directory"
+    )
+    store_inspect.set_defaults(func=cmd_store_inspect)
 
     lint = sub.add_parser(
         "lint", help="run the invariant checkers (RL001-RL009)"

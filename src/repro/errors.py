@@ -108,3 +108,7 @@ class DatasetError(ReproError):
 
 class StorageError(ReproError):
     """A problem in the mini relational store (unknown table, bad row, ...)."""
+
+
+class StoreError(StorageError):
+    """A problem with an on-disk score store or its generation manifest."""

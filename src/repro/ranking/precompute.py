@@ -96,8 +96,25 @@ class PrecomputedRanker:
     def keywords(self) -> list[str]:
         return list(self._vectors)
 
+    @property
+    def rates_snapshot(self) -> AuthorityTransferSchemaGraph:
+        """The transfer rates the vectors were computed under (a copy)."""
+        return self._rates_snapshot
+
     def has_keyword(self, keyword: str) -> bool:
         return keyword in self._vectors
+
+    def vector(self, keyword: str) -> np.ndarray:
+        """The precomputed authority vector of one cached keyword."""
+        return self._vectors[keyword]
+
+    def keyword_idf(self, keyword: str) -> float:
+        """The raw BM25 idf :meth:`rank` blends with (before its 1e-6 floor).
+
+        Exported into score stores so the mmap serving path can blend with
+        the exact same float and stay bit-identical to this ranker.
+        """
+        return self._scorer.idf(keyword)
 
     def coverage(self, query_vector: QueryVector) -> float:
         """Fraction of the query's positive term weight that is cached."""

@@ -11,11 +11,25 @@ explain/reformulate modules.  Start one with::
     server = create_server(service, "127.0.0.1", 8080)
     server.serve_forever()
 
-or from the command line: ``repro serve dblp_tiny --port 8080``.
+or from the command line: ``repro serve dblp_tiny --port 8080``.  The
+prefork tier (``repro serve --workers N --store DIR``) lives in
+:mod:`repro.serve.cluster`: worker processes share one listener and mmap the
+same :mod:`repro.store` generation, swapped atomically on rebuilds.
 """
 
 from repro.serve.cache import CacheStats, ResultCache, make_key
-from repro.serve.http_server import QueryHTTPServer, create_server, serve_forever
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    WorkerStatus,
+    run_cluster,
+)
+from repro.serve.http_server import (
+    QueryHTTPServer,
+    create_server,
+    serve_forever,
+    serve_until_shutdown,
+)
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.service import (
     Deadline,
@@ -28,6 +42,8 @@ from repro.serve.service import (
 
 __all__ = [
     "CacheStats",
+    "ClusterConfig",
+    "ClusterSupervisor",
     "Counter",
     "DatasetRuntime",
     "Deadline",
@@ -40,7 +56,10 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "ServeConfig",
+    "WorkerStatus",
     "create_server",
     "make_key",
+    "run_cluster",
     "serve_forever",
+    "serve_until_shutdown",
 ]

@@ -19,11 +19,26 @@ Admission control: work endpoints must win a non-blocking semaphore permit
 (``max_concurrency``) or are refused with **429** and a ``Retry-After``
 header; a request whose per-request deadline expires before its expensive
 stage starts gets **503**.  Both are counted in ``/metrics``.
+
+Graceful shutdown: the server tracks its in-flight requests, and
+:func:`serve_until_shutdown` installs SIGTERM/SIGINT handlers that stop the
+accept loop, answer anything newly arriving on kept-alive connections with
+**503** + ``Connection: close``, and wait for the in-flight requests to
+drain (bounded by ``drain_timeout``) before closing the socket — the
+supervisor in :mod:`repro.serve.cluster` relies on this to roll workers
+without dropping answers mid-write.
+
+For the prefork tier the server can also adopt a pre-bound, already
+listening socket (``listen_socket=``) inherited from a supervisor across
+``fork`` — the kernel then load-balances accepts among the worker
+processes with no locks in userspace.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -47,24 +62,92 @@ class QueryHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: QueryService,
         quiet: bool = True,
+        listen_socket: socket.socket | None = None,
     ) -> None:
-        super().__init__(address, QueryRequestHandler)
+        if listen_socket is not None:
+            # Adopt a supervisor-bound listener (prefork socket sharing):
+            # skip bind/listen and accept from the shared socket.  The
+            # listener is non-blocking so a worker that loses an accept
+            # race simply returns to its select loop (see
+            # ``_handle_request_noblock``'s OSError swallow) instead of
+            # blocking in ``accept`` where a drain signal cannot reach it.
+            super().__init__(address, QueryRequestHandler, bind_and_activate=False)
+            self.socket.close()
+            listen_socket.setblocking(False)
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+        else:
+            super().__init__(address, QueryRequestHandler)
         self.service = service
         self.quiet = quiet
         self.admission = threading.BoundedSemaphore(service.config.max_concurrency)
         self.deadline_seconds = service.config.deadline_seconds
+        self._inflight_lock = threading.Lock()
+        #: guarded by self._inflight_lock
+        self._inflight = 0
+        #: guarded by self._inflight_lock
+        self._draining = False
+        self._drained = threading.Event()
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # -- graceful shutdown ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._inflight_lock:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing a handler body."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def begin_drain(self) -> None:
+        """Stop taking new work: subsequent requests get 503 + close.
+
+        Does not stop the accept loop — callers pair this with
+        :meth:`shutdown` (see :func:`serve_until_shutdown`), so queued
+        connections still get an explicit 503 instead of a hung socket.
+        """
+        with self._inflight_lock:
+            self._draining = True
+            if self._inflight == 0:
+                self._drained.set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every in-flight request finished; ``True`` on success."""
+        self.begin_drain()
+        return self._drained.wait(timeout)
+
+    def _track_request_start(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _track_request_end(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._draining and self._inflight == 0:
+                self._drained.set()
+
 
 def create_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    listen_socket: socket.socket | None = None,
 ) -> QueryHTTPServer:
-    """Bind a server (``port=0`` picks an ephemeral port) without starting it."""
-    return QueryHTTPServer((host, port), service, quiet=quiet)
+    """Bind a server (``port=0`` picks an ephemeral port) without starting it.
+
+    ``listen_socket`` adopts an already bound+listening socket instead (the
+    prefork supervisor passes each worker the shared listener this way).
+    """
+    return QueryHTTPServer((host, port), service, quiet=quiet, listen_socket=listen_socket)
 
 
 class QueryRequestHandler(BaseHTTPRequestHandler):
@@ -72,6 +155,10 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # Headers and body flush as separate small segments; without TCP_NODELAY
+    # that combination stalls ~40ms per request on keep-alive connections
+    # (Nagle waiting out the peer's delayed ACK).
+    disable_nagle_algorithm = True
 
     # -- plumbing ----------------------------------------------------------
 
@@ -116,6 +203,32 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._route_post)
+
+    def _dispatch(self, route) -> None:
+        """Track the request in-flight; refuse new work while draining."""
+        server = self.server
+        if server.draining:
+            # A kept-alive client racing the shutdown gets an explicit
+            # refusal and a closed connection instead of a TCP reset.
+            self.close_connection = True
+            self._send_error_json(
+                503,
+                "shutting_down",
+                "server is draining; retry against another instance",
+                headers={"Connection": "close"},
+            )
+            return
+        server._track_request_start()
+        try:
+            route()
+        finally:
+            server._track_request_end()
+
+    def _route_get(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path == "/healthz":
             self._send_json(200, self.service.health())
@@ -131,7 +244,7 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(404, "not_found", f"no route for {parsed.path}")
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _route_post(self) -> None:
         parsed = urlparse(self.path)
         routes = {
             "/search": self._search_from_body,
@@ -297,3 +410,44 @@ def serve_forever(server: QueryHTTPServer) -> None:  # pragma: no cover - CLI lo
         pass
     finally:
         server.server_close()
+
+
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+
+def serve_until_shutdown(
+    server: QueryHTTPServer,
+    signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    poll_interval: float = 0.1,
+) -> tuple[int, bool]:
+    """Serve until a signal arrives, then drain in-flight requests and close.
+
+    On SIGTERM/SIGINT the handler (a) marks the server draining, so requests
+    arriving on kept-alive connections are answered 503 and closed, and (b)
+    stops the accept loop from a helper thread (``shutdown()`` blocks until
+    the loop exits, so it must not run inside the signal handler itself).
+    After the loop exits, waits up to ``drain_timeout`` seconds for requests
+    already executing to finish writing their responses, then closes the
+    listening socket.
+
+    Returns ``(signum, drained)`` — the signal that stopped the server (0
+    for a plain ``shutdown()`` call) and whether the drain completed before
+    the timeout.  Must run on the main thread (POSIX signal handling).
+    """
+    received: list[int] = []
+
+    def _handle(signum: int, _frame) -> None:
+        received.append(signum)
+        server.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {s: signal.signal(s, _handle) for s in signals}
+    try:
+        server.serve_forever(poll_interval=poll_interval)
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+    drained = server.drain(drain_timeout)
+    server.server_close()
+    return (received[0] if received else 0), drained

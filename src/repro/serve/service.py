@@ -22,6 +22,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -46,6 +47,8 @@ from repro.serve.cache import (
     rates_fingerprint,
 )
 from repro.serve.metrics import MetricsRegistry
+from repro.store.generations import StoreManager
+from repro.store.ranker import MmapScoreRanker
 
 SERVE_MODES = ("auto", "live", "precomputed")
 
@@ -108,6 +111,15 @@ class ServeConfig:
     #: applied reformulation (blocks the reformulation request, restores the
     #: precomputed fast path for everyone else).
     precompute_rebuild: bool = False
+    #: Root directory of on-disk score stores (one subdirectory per dataset,
+    #: see :mod:`repro.store`).  When set, the precomputed fast path serves
+    #: zero-copy from the mmap'd store's published generation instead of
+    #: building vectors in-process — the prefork cluster mode, where every
+    #: worker maps the same physical pages.
+    store_dir: str | None = None
+    #: Manifest poll throttle: a runtime re-checks its store's CURRENT
+    #: pointer at most this often (0 checks on every request).
+    store_refresh_seconds: float = 0.05
     #: Entries held by the explanation cache (full adjusted-flow payloads,
     #: keyed on dataset + query + rate fingerprint + target).
     explain_cache_max_entries: int = 256
@@ -129,9 +141,15 @@ class DatasetRuntime:
     serving rates.
     """
 
-    def __init__(self, dataset: Dataset, config: ServeConfig) -> None:
+    def __init__(
+        self, dataset: Dataset, config: ServeConfig, name: str | None = None
+    ) -> None:
         self.dataset = dataset
         self.config = config
+        #: The name this dataset is served under (the /search ``dataset``
+        #: parameter and the store subdirectory) — may differ from the
+        #: loaded dataset's own name when preloaded under an alias.
+        self.name = name if name is not None else dataset.name
         self.engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
         #: guarded by self._rates_lock
         self.current_rates: AuthorityTransferSchemaGraph = dataset.transfer_schema
@@ -141,6 +159,16 @@ class DatasetRuntime:
         self._precompute_lock = threading.Lock()
         self._precomputed: PrecomputedRanker | None = None
         self._precompute_built = False
+        # Store-backed serving: the manager polls the dataset's CURRENT
+        # manifest and swaps generations between requests; ``None`` keeps
+        # the classic in-process precompute behaviour.
+        self.store: StoreManager | None = None
+        if config.store_dir is not None:
+            self.store = StoreManager(
+                Path(config.store_dir) / self.name,
+                min_coverage=config.precompute_min_coverage,
+                refresh_seconds=config.store_refresh_seconds,
+            )
 
     @property
     def rates(self) -> AuthorityTransferSchemaGraph:
@@ -153,8 +181,17 @@ class DatasetRuntime:
             self.current_rates = rates
             self.reformulations_applied += 1
 
-    def precomputed_ranker(self) -> PrecomputedRanker | None:
-        """The per-keyword ranker, built on first call; ``None`` if disabled."""
+    def precomputed_ranker(self) -> PrecomputedRanker | MmapScoreRanker | None:
+        """The precomputed fast-path ranker; ``None`` if unavailable.
+
+        Store-backed runtimes return the mmap ranker of the currently
+        published generation (refreshing the manifest first, so a
+        generation swap is picked up here, between requests) and never
+        build vectors in-process — an empty store directory simply routes
+        to live ObjectRank2 until a builder publishes.
+        """
+        if self.store is not None:
+            return self.store.ranker()
         if not self.config.precompute:
             return None
         with self._precompute_lock:
@@ -163,7 +200,13 @@ class DatasetRuntime:
                 self._precompute_built = True
             return self._precomputed
 
-    def rebuild_precomputed(self) -> PrecomputedRanker | None:
+    def store_generation(self) -> int | None:
+        """The published store generation in use; ``None`` off the store."""
+        if self.store is None:
+            return None
+        return self.store.generation
+
+    def rebuild_precomputed(self) -> PrecomputedRanker | MmapScoreRanker | None:
         """Rebuild the per-keyword vectors under the current serving rates.
 
         A structure-based reformulation leaves the precomputed cache stale;
@@ -172,7 +215,17 @@ class DatasetRuntime:
         instead of routing all traffic to live ObjectRank2 forever.  The
         rebuild happens outside the lock — readers keep using the stale
         ranker's staleness check (and the live path) until the swap.
+
+        Store-backed runtimes instead *publish a new generation* under the
+        learned rates: the builder writes ``store.gen-K``, flips the
+        manifest, and every worker process of the cluster picks the new
+        generation up between requests — serving never blocks on a rebuild.
         """
+        if self.store is not None:
+            graph = self.engine.transfer_view(self.rates)
+            ranker = self._build_precomputed(graph)
+            self.store.publish(ranker, self.name)
+            return self.store.ranker()
         if not self.config.precompute:
             return None
         graph = self.engine.transfer_view(self.rates)
@@ -266,6 +319,10 @@ class QueryService:
             "repro_served_live_total",
             "Search responses computed by live ObjectRank2",
         )
+        self._served_store = m.counter(
+            "repro_served_store_total",
+            "Search responses served zero-copy from the mmap score store",
+        )
         self._invalidations = m.counter(
             "repro_cache_invalidations_total",
             "Cache entries dropped by reformulation-driven invalidation",
@@ -300,7 +357,7 @@ class QueryService:
         loaded = self._preloaded.get(dataset) or load_dataset(
             dataset, scale=self.config.scale, seed=self.config.seed
         )
-        built = DatasetRuntime(loaded, self.config)
+        built = DatasetRuntime(loaded, self.config, name=dataset)
         with self._runtimes_lock:
             # Another thread may have built it concurrently; first one wins.
             runtime = self._runtimes.setdefault(dataset, built)
@@ -338,7 +395,21 @@ class QueryService:
         vector = runtime.engine.query_vector(query)
         rates = runtime.rates
         k = top_k if top_k is not None else self.config.default_top_k
+
+        served_from = "live"
+        ranked: RankedResult | None = None
+        ranker = None
+        if mode in ("auto", "precomputed"):
+            # Resolved before the cache key is built: for store-backed
+            # runtimes this refreshes the generation, and the key carries
+            # the generation number so a swap starts a fresh cache cohort
+            # (the old cohort ages out of the LRU instead of being trusted
+            # across a rebuild).
+            ranker = runtime.precomputed_ranker()
+        generation = runtime.store_generation()
         key = make_key(dataset, vector, rates, k) + ((labels,) if labels else ())
+        if generation is not None:
+            key += (("gen", generation),)
 
         if mode == "auto":
             cached = self.cache.get(key)
@@ -350,10 +421,8 @@ class QueryService:
         if deadline is not None:
             deadline.check("ranking")
 
-        served_from = "live"
-        ranked: RankedResult | None = None
         if mode in ("auto", "precomputed"):
-            ranker = runtime.precomputed_ranker()
+            store_backed = isinstance(ranker, MmapScoreRanker)
             fresh = ranker is not None and not ranker.is_stale(rates)
             if mode == "precomputed" and not fresh:
                 raise ReproError(
@@ -363,7 +432,7 @@ class QueryService:
             if fresh:
                 try:
                     ranked = ranker.rank(vector)
-                    served_from = "precomputed"
+                    served_from = "store" if store_backed else "precomputed"
                 except PrecomputedCoverageError as error:
                     if mode == "precomputed":
                         raise ReproError(
@@ -374,7 +443,7 @@ class QueryService:
                 except EmptyBaseSetError:
                     if mode == "precomputed":
                         ranked = RankedResult([], _EMPTY_SCORES, 0, True)
-                        served_from = "precomputed"
+                        served_from = "store" if store_backed else "precomputed"
                     # auto: fall through to live, which may still match
                     # (or raise the same error, mapped to an empty payload).
 
@@ -390,7 +459,10 @@ class QueryService:
             self._or_iterations.inc(ranked.iterations)
         else:
             top = _top_k(ranked, k, labels, runtime)
-            self._served_precomputed.inc()
+            if served_from == "store":
+                self._served_store.inc()
+            else:
+                self._served_precomputed.inc()
 
         payload = {
             "dataset": dataset,
@@ -410,9 +482,11 @@ class QueryService:
             "converged": ranked.converged,
             "coverage": ranked.coverage,
         }
+        if generation is not None:
+            payload["store_generation"] = generation
         # A forced-precomputed request the ranker could not answer yields an
         # empty payload that auto traffic would answer live — never cache it.
-        unanswerable = served_from == "precomputed" and not ranked.node_ids
+        unanswerable = served_from in ("precomputed", "store") and not ranked.node_ids
         if not unanswerable:
             self.cache.put(key, payload)
         return self._finish(payload, served_from, start)
@@ -633,13 +707,13 @@ class QueryService:
     def health(self) -> dict:
         stats = self.cache.stats()
         with self._runtimes_lock:
-            loaded = sorted(self._runtimes)
-        return {
+            runtimes = dict(self._runtimes)
+        payload = {
             "status": "ok",
             "uptime_seconds": time.monotonic() - self._started_at,
             "datasets": {
                 "configured": list(self.config.datasets),
-                "loaded": loaded,
+                "loaded": sorted(runtimes),
             },
             "cache": {
                 "size": stats.size,
@@ -647,6 +721,16 @@ class QueryService:
                 "hit_rate": stats.hit_rate,
             },
         }
+        if self.config.store_dir is not None:
+            payload["store"] = {
+                "dir": self.config.store_dir,
+                "generations": {
+                    name: runtime.store_generation()
+                    for name, runtime in sorted(runtimes.items())
+                    if runtime.store is not None
+                },
+            }
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus text exposition, cache gauges refreshed on the way out."""
@@ -664,6 +748,22 @@ class QueryService:
             "repro_explain_cache_entries",
             "Entries currently held by the explanation cache",
         ).set(self.explain_cache.stats().size)
+        if self.config.store_dir is not None:
+            with self._runtimes_lock:
+                runtimes = dict(self._runtimes)
+            managers = [r.store for r in runtimes.values() if r.store is not None]
+            self.metrics.gauge(
+                "repro_store_generation",
+                "Published score-store generation in use (max across datasets)",
+            ).set(max((m.generation or 0 for m in managers), default=0))
+            self.metrics.gauge(
+                "repro_store_swaps",
+                "Generation swaps observed since startup",
+            ).set(sum(m.swaps for m in managers))
+            self.metrics.gauge(
+                "repro_store_load_errors",
+                "Published generations this process failed to open",
+            ).set(sum(m.load_errors for m in managers))
         return self.metrics.render()
 
 

@@ -1,6 +1,7 @@
-"""Mini relational store and graph shredding (the paper's dataset pipeline)."""
+"""Mini relational store, graph shredding, and mmap-able slab files."""
 
 from repro.storage.relational import Database, ForeignKey, Table, TableSchema
+from repro.storage.slab import SlabFile, SlabFormatError, write_slab
 from repro.storage.xml_shred import XmlShredResult, shred_xml, xml_transfer_schema
 from repro.storage.shred import (
     EdgeFromForeignKey,
@@ -18,11 +19,14 @@ __all__ = [
     "ForeignKey",
     "NodeTable",
     "ShredSpec",
+    "SlabFile",
+    "SlabFormatError",
     "Table",
     "TableSchema",
     "XmlShredResult",
     "node_id",
     "shred_to_graph",
     "shred_xml",
+    "write_slab",
     "xml_transfer_schema",
 ]

@@ -1,0 +1,237 @@
+"""Versioned, checksummed, mmap-able slab files of named numpy arrays.
+
+The serving tier's score store needs an on-disk format that N worker
+processes can open *read-only* and slice *zero-copy*: the precomputed
+keyword→score matrix is a read-mostly asset, and copying it per process (or
+per request) would defeat the prefork architecture.  This module is the
+container layer of that format, deliberately payload-agnostic — it stores
+named C-contiguous arrays plus one JSON metadata object, and leaves the
+meaning of the sections to :mod:`repro.store`.
+
+On-disk layout (all integers little-endian)::
+
+    [ 0: 8]  magic        b"REPROSLB"
+    [ 8:12]  uint32       format version (1)
+    [12:16]  uint32       length of the header JSON in bytes
+    [16:20]  uint32       CRC32 of the header JSON
+    [20:24]  uint32       zero (reserved)
+    [24:  ]  header JSON  {"sections": [...], "meta": {...}}
+    ...      sections, each aligned to SECTION_ALIGNMENT bytes
+
+Every section records its ``offset``, ``nbytes``, ``dtype``, ``shape`` and
+``crc32`` in the header, so a reader can (a) reject truncated or corrupted
+files before handing out views and (b) build ``np.frombuffer`` views straight
+into the mmap with no copies.  Sections are 64-byte aligned — the same
+cache-line alignment the native kernel's slab builders use — so vector loads
+on the mapped score rows never straddle lines.
+
+Writes go through a same-directory temp file and ``os.replace`` with fsyncs,
+so a crashed builder can never leave a half-written file under the final
+name; the generation-swap protocol in :mod:`repro.store.generations` builds
+on this guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import tempfile
+import zlib
+
+import numpy as np
+
+from repro.errors import ReproError
+
+MAGIC = b"REPROSLB"
+FORMAT_VERSION = 1
+SECTION_ALIGNMENT = 64
+_FIXED_HEADER = struct.Struct("<8sIIII")
+
+
+class SlabFormatError(ReproError):
+    """The file is not a readable slab (wrong magic, corrupt, truncated...)."""
+
+
+def _align(offset: int) -> int:
+    return (offset + SECTION_ALIGNMENT - 1) & ~(SECTION_ALIGNMENT - 1)
+
+
+def write_slab(path: str | os.PathLike, arrays: dict[str, np.ndarray],
+               meta: dict | None = None, fsync: bool = True) -> int:
+    """Write ``arrays`` + ``meta`` as one slab file; returns the byte size.
+
+    Arrays are stored C-contiguous (converted if needed).  The write is
+    crash-safe: the data goes to a temp file in the target directory, is
+    fsynced, and only then renamed over ``path`` (followed by a directory
+    fsync), so readers either see the complete file or the previous one.
+    """
+    prepared: list[tuple[str, np.ndarray]] = []
+    for name, array in arrays.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"section names must be non-empty strings, got {name!r}")
+        prepared.append((name, np.ascontiguousarray(array)))
+
+    sections = []
+    # Header length depends on the JSON, whose offsets depend on the header
+    # length; fixed-point in two passes (offsets only grow the JSON by a
+    # bounded number of digits, so pass two always fits or re-runs).
+    payload_base = 0
+    for _pass in range(4):
+        sections = []
+        offset = payload_base
+        for name, array in prepared:
+            offset = _align(offset)
+            sections.append({
+                "name": name,
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "crc32": zlib.crc32(array.tobytes()) & 0xFFFFFFFF,
+            })
+            offset += array.nbytes
+        header = json.dumps(
+            {"sections": sections, "meta": meta or {}}, sort_keys=True
+        ).encode("utf-8")
+        wanted_base = _align(_FIXED_HEADER.size + len(header))
+        if wanted_base == payload_base:
+            break
+        payload_base = wanted_base
+    total = offset if prepared else payload_base
+
+    directory = os.path.dirname(os.fspath(path)) or "."
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".slab-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(_FIXED_HEADER.pack(
+                MAGIC, FORMAT_VERSION, len(header),
+                zlib.crc32(header) & 0xFFFFFFFF, 0,
+            ))
+            handle.write(header)
+            for section, (_name, array) in zip(sections, prepared):
+                handle.seek(section["offset"])
+                handle.write(array.tobytes())
+            handle.truncate(total)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return total
+
+
+class SlabFile:
+    """A slab opened read-only through one shared mmap.
+
+    :meth:`array` returns zero-copy, *non-writeable* numpy views into the
+    mapping — many processes opening the same file share its page-cache
+    pages, which is the whole point of the format.  The views keep the
+    mapping alive, so a :class:`SlabFile` (or any view taken from it) can
+    outlive a generation swap that replaced the file on disk: the mapped
+    pages stay valid until the last reference dies, which is what makes the
+    swap torn-read-free.
+    """
+
+    def __init__(self, path: str | os.PathLike, verify: bool = True) -> None:
+        self.path = os.fspath(path)
+        try:
+            with open(self.path, "rb") as handle:
+                self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as error:
+            raise SlabFormatError(f"cannot map {self.path!r}: {error}") from None
+        size = len(self._mmap)
+        if size < _FIXED_HEADER.size:
+            raise SlabFormatError(f"{self.path!r}: truncated fixed header")
+        magic, version, header_len, header_crc, _reserved = _FIXED_HEADER.unpack(
+            self._mmap[: _FIXED_HEADER.size]
+        )
+        if magic != MAGIC:
+            raise SlabFormatError(f"{self.path!r}: bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise SlabFormatError(
+                f"{self.path!r}: unsupported format version {version}"
+            )
+        if _FIXED_HEADER.size + header_len > size:
+            raise SlabFormatError(f"{self.path!r}: truncated header JSON")
+        raw_header = bytes(
+            self._mmap[_FIXED_HEADER.size : _FIXED_HEADER.size + header_len]
+        )
+        if zlib.crc32(raw_header) & 0xFFFFFFFF != header_crc:
+            raise SlabFormatError(f"{self.path!r}: header checksum mismatch")
+        try:
+            header = json.loads(raw_header)
+            self._sections = {s["name"]: s for s in header["sections"]}
+            self.meta: dict = header["meta"]
+        except (KeyError, TypeError, ValueError) as error:
+            raise SlabFormatError(
+                f"{self.path!r}: malformed header JSON: {error}"
+            ) from None
+        for section in self._sections.values():
+            end = section["offset"] + section["nbytes"]
+            if section["offset"] < 0 or end > size:
+                raise SlabFormatError(
+                    f"{self.path!r}: section {section['name']!r} "
+                    f"[{section['offset']}, {end}) exceeds file size {size}"
+                )
+        if verify:
+            self.verify()
+
+    # -- access -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return list(self._sections)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def array(self, name: str) -> np.ndarray:
+        """A zero-copy read-only view of one section."""
+        section = self._sections.get(name)
+        if section is None:
+            raise SlabFormatError(f"{self.path!r}: no section named {name!r}")
+        view = np.frombuffer(
+            self._mmap,
+            dtype=np.dtype(section["dtype"]),
+            count=int(np.prod(section["shape"], dtype=np.int64)) if section["shape"] else 1,
+            offset=section["offset"],
+        ).reshape(section["shape"])
+        view.flags.writeable = False
+        return view
+
+    def verify(self) -> None:
+        """Recompute every section checksum; raises on any mismatch."""
+        for section in self._sections.values():
+            start, end = section["offset"], section["offset"] + section["nbytes"]
+            actual = zlib.crc32(self._mmap[start:end]) & 0xFFFFFFFF
+            if actual != section["crc32"]:
+                raise SlabFormatError(
+                    f"{self.path!r}: checksum mismatch in section "
+                    f"{section['name']!r} (stored {section['crc32']:#010x}, "
+                    f"actual {actual:#010x})"
+                )
+
+    def close(self) -> None:
+        """Best-effort unmap; a no-op while exported views are alive."""
+        try:
+            self._mmap.close()
+        except BufferError:
+            pass  # views still reference the buffer; GC unmaps later
+
+    def __enter__(self) -> "SlabFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,126 @@
+"""Query-time blending over an mmap'd score store, bit-identical to memory.
+
+:class:`MmapScoreRanker` is the serving-tier twin of
+:class:`repro.ranking.precompute.PrecomputedRanker`: same coverage rules,
+same errors, same blend arithmetic — but the per-keyword vectors are
+zero-copy views into a :class:`repro.store.format.ScoreStore` instead of
+process-private arrays, so N prefork workers share one physical copy of the
+matrix through the page cache.
+
+Bit-identity matters because the serve tier's routing treats the two paths
+as interchangeable: the blend iterates the query terms in their canonical
+order, multiplies by the *stored* idf (the exact float the in-memory ranker
+would recompute), and normalizes with the same accumulation order, so
+``rank`` returns byte-identical scores to the ranker the store was exported
+from.  The store smoke benchmark asserts exactly this across processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyBaseSetError, PrecomputedCoverageError
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.query.query import QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.store.format import ScoreStore
+
+
+class MmapScoreRanker:
+    """Per-keyword blending served from an open score store.
+
+    Instances are immutable and safe to share across the threads of one
+    worker; they pin the store's mapping, so an in-flight request keeps its
+    generation even while a swap publishes the next one.
+    """
+
+    def __init__(self, store: ScoreStore, min_coverage: float = 1.0) -> None:
+        if not 0.0 <= min_coverage <= 1.0:
+            raise ValueError(f"min_coverage must be in [0, 1], got {min_coverage}")
+        self.store = store
+        self.min_coverage = min_coverage
+
+    # -- parity with PrecomputedRanker --------------------------------------
+
+    @property
+    def keywords(self) -> list[str]:
+        return list(self.store.keywords)
+
+    @property
+    def generation(self) -> int:
+        return self.store.generation
+
+    @property
+    def build_iterations(self) -> int:
+        return self.store.build_iterations
+
+    def has_keyword(self, keyword: str) -> bool:
+        return self.store.has_keyword(keyword)
+
+    def coverage(self, query_vector: QueryVector) -> float:
+        """Fraction of the query's positive term weight held by the store."""
+        considered = [
+            (term, query_vector.weight(term))
+            for term in query_vector.terms
+            if query_vector.weight(term) > 0
+        ]
+        total = sum(weight for _, weight in considered)
+        if total <= 0:
+            return 0.0
+        cached = sum(
+            weight for term, weight in considered if self.store.has_keyword(term)
+        )
+        return cached / total
+
+    def is_stale(self, rates: AuthorityTransferSchemaGraph) -> bool:
+        """Whether the serving rates no longer match the store's snapshot."""
+        return not self.store.matches_rates(rates)
+
+    def rank(self, query_vector: QueryVector) -> RankedResult:
+        """Blend stored vectors for the query's cached keywords.
+
+        Mirrors :meth:`PrecomputedRanker.rank` term for term — same
+        iteration order, same ``max(idf, 1e-6)`` floor, same accumulate /
+        normalize sequence — so the scores are bit-identical to the ranker
+        the store was exported from.  Raises the same
+        :class:`~repro.errors.EmptyBaseSetError` /
+        :class:`~repro.errors.PrecomputedCoverageError` for the same inputs,
+        so the service's live-fallback routing is unchanged.
+        """
+        blended = np.zeros(self.store.num_nodes)
+        total_weight = 0.0
+        matched: dict[str, float] = {}
+        missing: list[str] = []
+        considered_weight = 0.0
+        covered_weight = 0.0
+        for term in query_vector.terms:
+            weight = query_vector.weight(term)
+            if weight <= 0:
+                continue
+            considered_weight += weight
+            if not self.store.has_keyword(term):
+                missing.append(term)
+                continue
+            covered_weight += weight
+            blend_weight = weight * max(self.store.idf_of(term), 1e-6)
+            blended += blend_weight * self.store.vector(term)
+            total_weight += blend_weight
+            matched[term] = blend_weight
+        # Same guard as PrecomputedRanker: strictly positive accumulation,
+        # <= 0.0 instead of == 0.0 so a subnormal sum cannot divide below.
+        if total_weight <= 0.0:
+            raise EmptyBaseSetError(tuple(query_vector.terms))
+        coverage = covered_weight / considered_weight
+        if coverage < self.min_coverage:
+            raise PrecomputedCoverageError(
+                tuple(missing), coverage, self.min_coverage
+            )
+        blended /= total_weight
+        return RankedResult(
+            node_ids=self.store.node_ids,
+            scores=blended,
+            iterations=0,  # query time does no power iteration
+            converged=True,
+            base_weights={t: w / total_weight for t, w in matched.items()},
+            coverage=coverage,
+        )

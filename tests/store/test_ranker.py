@@ -1,0 +1,104 @@
+"""MmapScoreRanker tests: bit-identity with the in-memory PrecomputedRanker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyBaseSetError, PrecomputedCoverageError
+from repro.query import KeywordQuery
+from repro.ranking.precompute import PrecomputedRanker
+from repro.store import ScoreStore, write_score_store
+from repro.store.ranker import MmapScoreRanker
+
+
+@pytest.fixture(scope="module")
+def ranker(figure1_graph, figure1_index):
+    return PrecomputedRanker(
+        figure1_graph, figure1_index, min_document_frequency=1
+    )
+
+
+@pytest.fixture(scope="module")
+def mmap_ranker(tmp_path_factory, ranker):
+    path = tmp_path_factory.mktemp("store") / "store.gen-1.slab"
+    write_score_store(path, ranker, dataset="fig1", generation=1)
+    return MmapScoreRanker(ScoreStore(path))
+
+
+def _vector(*terms: str):
+    return KeywordQuery(list(terms)).vector()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "terms",
+        [("OLAP",), ("cube",), ("OLAP", "data"), ("index", "queries", "OLAP")],
+    )
+    def test_rank_is_bit_identical(self, ranker, mmap_ranker, terms):
+        expected = ranker.rank(_vector(*terms))
+        actual = mmap_ranker.rank(_vector(*terms))
+        assert actual.node_ids == expected.node_ids
+        assert actual.scores.tobytes() == expected.scores.tobytes()
+        assert actual.base_weights == expected.base_weights
+        assert actual.coverage == expected.coverage
+        assert actual.iterations == 0 and actual.converged
+
+    def test_top_k_order_matches(self, ranker, mmap_ranker):
+        expected = ranker.rank(_vector("OLAP")).top_k(5)
+        actual = mmap_ranker.rank(_vector("OLAP")).top_k(5)
+        assert actual == expected
+
+    def test_keywords_and_metadata_mirror_the_store(self, ranker, mmap_ranker):
+        assert mmap_ranker.keywords == ranker.keywords
+        assert mmap_ranker.generation == 1
+        assert mmap_ranker.build_iterations == ranker.build_iterations
+        for keyword in ranker.keywords:
+            assert mmap_ranker.has_keyword(keyword)
+
+
+class TestRouting:
+    def test_staleness_matches_in_memory_discriminator(
+        self, ranker, mmap_ranker, figure1
+    ):
+        same = figure1.transfer_schema
+        assert mmap_ranker.is_stale(same) == ranker.is_stale(same)
+        assert not mmap_ranker.is_stale(same)
+        changed = same.copy()
+        edge_type = changed.edge_types()[0]
+        changed.set_rate(edge_type, changed.rate(edge_type) / 2 + 0.05)
+        assert mmap_ranker.is_stale(changed)
+        assert ranker.is_stale(changed)
+
+    def test_unknown_terms_raise_empty_base_set(self, mmap_ranker):
+        with pytest.raises(EmptyBaseSetError):
+            mmap_ranker.rank(_vector("zzznotaterm"))
+
+    def test_partial_coverage_raises_under_full_threshold(
+        self, ranker, mmap_ranker
+    ):
+        vector = _vector("OLAP", "zzznotaterm")
+        with pytest.raises(PrecomputedCoverageError):
+            mmap_ranker.rank(vector)
+        with pytest.raises(PrecomputedCoverageError):
+            ranker.rank(vector)
+
+    def test_partial_coverage_admitted_under_loose_threshold(
+        self, ranker, mmap_ranker
+    ):
+        vector = _vector("OLAP", "zzznotaterm")
+        loose_mmap = MmapScoreRanker(mmap_ranker.store, min_coverage=0.4)
+        loose_mem = PrecomputedRanker(
+            ranker.graph,
+            ranker.index,
+            min_document_frequency=1,
+            min_coverage=0.4,
+        )
+        expected = loose_mem.rank(vector)
+        actual = loose_mmap.rank(vector)
+        assert actual.scores.tobytes() == expected.scores.tobytes()
+        assert actual.coverage == expected.coverage
+
+    def test_coverage_fraction_matches(self, ranker, mmap_ranker):
+        vector = _vector("OLAP", "data")
+        assert mmap_ranker.coverage(vector) == ranker.coverage(vector)

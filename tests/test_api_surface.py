@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.reformulate",
     "repro.search",
     "repro.storage",
+    "repro.store",
 ]
 
 
