@@ -1,0 +1,353 @@
+"""Extension benchmark: incremental ingest vs full precompute rebuild.
+
+Measures the two costs the online-maintenance design trades against each
+other on the synthetic DBLP corpus:
+
+- **mutation throughput** — how fast :class:`repro.ingest.IngestEngine`
+  absorbs content and topology mutations into its working graph/index
+  (mutations buffer in microseconds; the fixpoint work is deferred to the
+  refresh);
+- **refresh latency** — dirty-column incremental refresh (``"exact"`` and
+  ``"warm"`` modes) against the from-scratch full precompute on the same
+  mutated graph, for content-only batches of growing size and for a
+  topology batch (where every column is dirty and incremental ``exact``
+  degenerates to the full rebuild by construction).
+
+Every ``exact`` refresh is verified bit-identical to the full rebuild before
+its timing is reported — a number for a wrong matrix is worthless.
+
+Run under pytest (``pytest benchmarks/bench_ingest.py --benchmark-only -s``)
+or directly as a script::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --smoke   # CI quick mode
+
+Smoke mode drives the serve-tier path end to end: an ingest-enabled builder
+service applies a mutation batch through ``QueryService.ingest``, the forced
+refresh publishes the next store generation, and a 2-worker prefork cluster
+picks the new generation up between requests with answers identical to the
+builder's — the /ingest + generation-swap protocol under concurrent cluster
+readers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make `benchmarks.` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.ingest import IngestEngine
+from repro.ranking.precompute import PrecomputedRanker
+from repro.serve import QueryService, ServeConfig
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+
+DATASET = "dblp_tiny"
+MIN_DF = 2
+CONTENT_BATCH_SIZES = (1, 4, 16)
+MUTATION_COUNT = 2000
+
+
+def _paper_ids(data_graph) -> list[str]:
+    return [n.node_id for n in data_graph.nodes() if n.label == "Paper"]
+
+
+def _content_batch(ingest: IngestEngine, papers: list[str], size: int) -> None:
+    """Rewrite ``size`` paper titles, introducing shared vocabulary terms."""
+    for i in range(size):
+        paper = papers[i % len(papers)]
+        ingest.update_node(
+            paper, {"title": f"an improved practical study number {i}"}
+        )
+
+
+def _assert_bit_identical(incremental, full) -> None:
+    assert incremental.keywords == full.keywords, "keyword order diverged"
+    for keyword in full.keywords:
+        assert np.array_equal(
+            incremental.vector(keyword), full.vector(keyword)
+        ), f"column {keyword!r} differs from the full rebuild"
+
+
+def run_mutation_throughput(dataset) -> str:
+    ingest = IngestEngine(
+        dataset.data_graph, dataset.transfer_schema, min_document_frequency=MIN_DF
+    )
+    papers = _paper_ids(dataset.data_graph)
+    rows = []
+    start = time.perf_counter()
+    for i in range(MUTATION_COUNT):
+        ingest.update_node(
+            papers[i % len(papers)], {"title": f"rewritten title {i}"}
+        )
+    elapsed = time.perf_counter() - start
+    rows.append(["update_node (content)", MUTATION_COUNT,
+                 f"{MUTATION_COUNT / elapsed:,.0f}"])
+    start = time.perf_counter()
+    for i in range(MUTATION_COUNT):
+        ingest.add_node(f"bench:{i}", "Paper", {"title": f"benchmark paper {i}"})
+    elapsed = time.perf_counter() - start
+    rows.append(["add_node (topology)", MUTATION_COUNT,
+                 f"{MUTATION_COUNT / elapsed:,.0f}"])
+    return format_table(
+        ["mutation", "count", "mutations/s"],
+        rows,
+        title=f"Ingest mutation throughput ({DATASET}, buffered, no refresh)",
+    )
+
+
+def run_refresh_latency(dataset) -> str:
+    rows = []
+    for size in CONTENT_BATCH_SIZES:
+        ingest = IngestEngine(
+            dataset.data_graph,
+            dataset.transfer_schema,
+            min_document_frequency=MIN_DF,
+        )
+        first = ingest.refresh()
+        papers = _paper_ids(dataset.data_graph)
+        _content_batch(ingest, papers, size)
+
+        start = time.perf_counter()
+        exact = ingest.refresh(previous=first.ranker, mode="exact")
+        exact_s = time.perf_counter() - start
+        start = time.perf_counter()
+        full = PrecomputedRanker(
+            exact.graph, exact.index, min_document_frequency=MIN_DF
+        )
+        full_s = time.perf_counter() - start
+        _assert_bit_identical(exact.ranker, full)
+        rows.append([
+            f"content x{size}",
+            f"{len(exact.recomputed)}/{len(exact.ranker.keywords)}",
+            f"{exact_s * 1e3:.1f}",
+            f"{full_s * 1e3:.1f}",
+            f"{full_s / exact_s:.1f}x",
+        ])
+
+    # Topology batch: every column is dirty; exact degenerates to the full
+    # rebuild, warm saves iterations instead.
+    ingest = IngestEngine(
+        dataset.data_graph, dataset.transfer_schema, min_document_frequency=MIN_DF
+    )
+    first = ingest.refresh()
+    papers = _paper_ids(dataset.data_graph)
+    ingest.add_node("bench:new", "Paper", {"title": "a practical study"})
+    ingest.add_edge("bench:new", papers[0], "cites")
+    start = time.perf_counter()
+    exact = ingest.refresh(previous=first.ranker, mode="exact")
+    exact_s = time.perf_counter() - start
+    start = time.perf_counter()
+    full = PrecomputedRanker(
+        exact.graph, exact.index, min_document_frequency=MIN_DF
+    )
+    full_s = time.perf_counter() - start
+    _assert_bit_identical(exact.ranker, full)
+    rows.append([
+        "topology x2",
+        f"{len(exact.recomputed)}/{len(exact.ranker.keywords)}",
+        f"{exact_s * 1e3:.1f}",
+        f"{full_s * 1e3:.1f}",
+        f"{full_s / exact_s:.1f}x",
+    ])
+
+    ingest.add_edge(papers[1], papers[0], "cites")
+    warm = ingest.refresh(previous=exact.ranker, mode="warm")
+    rows.append([
+        "topology x1 (warm)",
+        f"{len(warm.recomputed)}/{len(warm.ranker.keywords)}",
+        f"{warm.elapsed_seconds * 1e3:.1f}",
+        "-",
+        f"{warm.iterations} iters vs {exact.iterations} cold",
+    ])
+    return format_table(
+        ["batch", "recomputed cols", "incremental ms", "full rebuild ms", "speedup"],
+        rows,
+        title=f"Dirty-column refresh vs full precompute ({DATASET}, min_df={MIN_DF})",
+    )
+
+
+def run_ingest_bench() -> None:
+    dataset = load_dataset(DATASET, scale=BENCH_SCALE, seed=BENCH_SEED)
+    throughput = run_mutation_throughput(dataset)
+    latency = run_refresh_latency(
+        load_dataset(DATASET, scale=BENCH_SCALE, seed=BENCH_SEED)
+    )
+    notes = (
+        "incremental wins when mutations localize (few dirty columns); once "
+        "a batch dirties most of the vocabulary — every topology change does "
+        "— the blocked full rebuild is the faster path, and warm mode only "
+        "recovers iterations, not the blocking. The staleness bound, not "
+        "per-mutation refreshes, is what keeps serving cheap under traffic."
+    )
+    write_result("ingest", throughput + "\n\n" + latency + "\n\n" + notes)
+
+
+def test_ingest_benchmark():
+    """Pytest entry point (run with --benchmark-only -s)."""
+    run_ingest_bench()
+
+
+# ---------------------------------------------------------------------------
+# CI smoke mode: /ingest -> forced refresh -> generation swap -> 2 workers
+# ---------------------------------------------------------------------------
+
+
+def _wait_for_workers(supervisor, count: int, timeout: float = 15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        workers = supervisor.workers()
+        if len(workers) >= count:
+            return workers
+        time.sleep(0.05)
+    raise AssertionError(f"cluster never reached {count} workers")
+
+
+def run_ingest_smoke() -> int:
+    dataset_name = "dblp_tiny"
+    query = "mining"
+    with tempfile.TemporaryDirectory() as store_root:
+        builder = QueryService(
+            ServeConfig(
+                datasets=(dataset_name,),
+                store_dir=store_root,
+                store_refresh_seconds=0.0,
+                ingest=True,
+            ),
+        )
+        builder.preload()
+        runtime = builder.runtime(dataset_name)
+        seed_ranker = PrecomputedRanker(
+            runtime.engine.graph, runtime.engine.index, min_document_frequency=MIN_DF
+        )
+        from repro.store import build_and_publish
+
+        build_and_publish(Path(store_root) / dataset_name, seed_ranker, dataset_name)
+        before = builder.search(dataset_name, query)
+        assert before["served_from"] == "store", before["served_from"]
+        print(f"smoke: store generation 1 published under {store_root}")
+
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                serve=ServeConfig(datasets=(dataset_name,), store_dir=store_root),
+                workers=2,
+                monitor_interval=0.05,
+            ),
+            service=builder,
+        )
+        supervisor.start()
+        try:
+            workers = _wait_for_workers(supervisor, 2)
+            host, _ = supervisor.address
+
+            def worker_answer(status, generation):
+                url = (
+                    f"http://{host}:{status.control_port}"
+                    f"/search?dataset={dataset_name}&q={query}&top_k=10"
+                )
+                deadline = time.monotonic() + 15.0
+                while True:
+                    with urllib.request.urlopen(url, timeout=30) as response:
+                        body = json.loads(response.read())
+                    if (
+                        body.get("store_generation") == generation
+                        or time.monotonic() > deadline
+                    ):
+                        return body
+
+            for status in workers:
+                body = worker_answer(status, 1)
+                assert body["store_generation"] == 1
+                assert body["results"] == before["results"]
+            print("smoke: generation 1 answers identical across 2 workers")
+
+            # The builder absorbs a mutation batch; the forced refresh
+            # publishes generation 2 through the swap protocol. The inbound
+            # citation gives the new paper authority flow, not just a match.
+            citing = _paper_ids(
+                load_dataset(dataset_name).data_graph
+            )[0]
+            out = builder.ingest(
+                dataset_name,
+                [
+                    {
+                        "op": "add_node",
+                        "node_id": "paper:ingested",
+                        "label": "Paper",
+                        "attributes": {"title": "mining the mining miners"},
+                    },
+                    {
+                        "op": "add_edge",
+                        "source": citing,
+                        "target": "paper:ingested",
+                        "role": "cites",
+                    },
+                ],
+                refresh="force",
+            )
+            assert not out["errors"], out["errors"]
+            assert out["staleness"]["pending_mutations"] == 0
+            print(
+                f"smoke: /ingest applied {out['applied']} mutations, refresh "
+                f"recomputed {out['refresh']['recomputed_columns']} columns"
+            )
+
+            after = builder.search(dataset_name, query, top_k=10)
+            assert after["store_generation"] == 2
+            wide = builder.search(dataset_name, query, top_k=500)
+            ingested = [
+                r for r in wide["results"] if r["id"] == "paper:ingested"
+            ]
+            assert ingested and ingested[0]["score"] > 0, (
+                "refreshed generation does not rank the ingested paper"
+            )
+
+            # Workers' local graphs predate the mutation, so the ingested
+            # node degrades to an id-only entry on their side; ids and
+            # scores must still be bit-identical to the builder's answer.
+            expected_scores = [(r["id"], r["score"]) for r in after["results"]]
+            for status in supervisor.workers():
+                body = worker_answer(status, 2)
+                assert body["store_generation"] == 2, (
+                    f"worker {status.worker_id} never saw generation 2"
+                )
+                got = [(r["id"], r["score"]) for r in body["results"]]
+                assert got == expected_scores, (
+                    f"worker {status.worker_id} diverged after the ingest swap"
+                )
+            print("smoke: ingest-published generation reached both workers, "
+                  "answers identical")
+        finally:
+            clean = supervisor.stop()
+        assert clean, "workers did not drain cleanly on SIGTERM"
+        print("smoke OK: /ingest refresh swapped a generation under live readers")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: /ingest + generation swap across a 2-worker cluster",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_ingest_smoke()
+    run_ingest_bench()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,13 @@ equivalent surface.  Subcommands:
   build through the blocked multi-restart engine (``repro.ranking.batch``);
 * ``repro serve [datasets...]`` — concurrent HTTP query service with result
   caching, admission control and Prometheus metrics (see ``repro.serve``);
+  ``--ingest`` adds the ``/ingest`` mutation endpoint with staleness-bounded
+  online precompute maintenance (``--staleness-bound``, ``--refresh-mode``);
+* ``repro ingest <dataset> --mutations FILE`` — apply a JSON mutation batch
+  offline and re-converge only the dirty precomputed columns
+  (``repro.ingest``); ``--store DIR`` publishes the refreshed matrix as the
+  next store generation, ``--compare-full`` verifies bit-identity against a
+  from-scratch rebuild;
 * ``repro lint [paths...]`` — the project's invariant linter (RL001–RL009:
   six AST rules plus the flow-sensitive RL007–RL009, see ``repro.analysis``)
   with text/JSON/GitHub/SARIF output, ``--jobs N`` process-pool parallelism
@@ -198,6 +205,133 @@ def cmd_precompute(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """The ``repro ingest`` subcommand: offline incremental maintenance.
+
+    Loads a dataset, builds its precomputed matrix, applies a JSON batch of
+    mutations (the ``/ingest`` wire format: a list of ``{"op": ...}``
+    objects) through :class:`repro.ingest.IngestEngine`, and re-converges
+    only the dirty columns.  ``--compare-full`` additionally runs the
+    from-scratch precompute on the mutated graph and verifies the
+    incremental result is bit-identical; ``--store DIR`` publishes the
+    refreshed matrix as the next store generation so live cluster workers
+    pick it up.
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.datasets import load_dataset
+    from repro.ingest import IngestEngine, mutation_from_json
+    from repro.query.engine import SearchEngine
+    from repro.ranking.precompute import PrecomputedRanker
+
+    with open(args.mutations, encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, list):
+        print(f"error: {args.mutations} must hold a JSON list", file=sys.stderr)
+        return 2
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = SearchEngine(dataset.data_graph, dataset.transfer_schema)
+    start = time.perf_counter()
+    previous = PrecomputedRanker(
+        engine.graph,
+        engine.index,
+        min_document_frequency=args.min_df,
+        workers=args.workers,
+    )
+    base_built = time.perf_counter() - start
+    print(
+        f"dataset: {args.dataset} ({dataset.num_nodes} nodes, "
+        f"{dataset.num_edges} edges); baseline precompute "
+        f"{len(previous.keywords)} columns in {base_built:.2f}s"
+    )
+
+    ingest = IngestEngine(
+        dataset.data_graph,
+        dataset.transfer_schema,
+        min_document_frequency=args.min_df,
+    )
+    failures = 0
+    for position, entry in enumerate(raw):
+        try:
+            ingest.apply(mutation_from_json(entry))
+        except ReproError as error:
+            failures += 1
+            print(f"mutation {position} rejected: {error}", file=sys.stderr)
+    staleness = ingest.staleness()
+    print(
+        f"applied {len(raw) - failures}/{len(raw)} mutations: "
+        f"{staleness.dirty_columns} dirty columns"
+        + (" (topology change: all columns dirty)" if staleness.topology_dirty else "")
+    )
+
+    result = ingest.refresh(
+        previous=previous, mode=args.mode, workers=args.workers
+    )
+    print(
+        f"incremental refresh ({result.mode}): recomputed "
+        f"{len(result.recomputed)} columns, carried {len(result.carried)}, "
+        f"{result.iterations} power-iteration steps, "
+        f"{result.elapsed_seconds:.2f}s"
+    )
+
+    if args.compare_full:
+        start = time.perf_counter()
+        full = PrecomputedRanker(
+            result.graph,
+            result.index,
+            min_document_frequency=args.min_df,
+            workers=args.workers,
+        )
+        full_built = time.perf_counter() - start
+        mismatched = _compare_rankers(result.ranker, full)
+        print(
+            f"full rebuild: {len(full.keywords)} columns in {full_built:.2f}s"
+        )
+        if mismatched:
+            print(
+                f"MISMATCH: {len(mismatched)} columns differ from the full "
+                f"rebuild: {mismatched[:5]}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verified: all {len(full.keywords)} columns bit-identical to "
+            f"the full rebuild"
+        )
+
+    if args.store:
+        from repro.store import build_and_publish
+
+        root = Path(args.store) / args.dataset
+        manifest = build_and_publish(
+            root, result.ranker, args.dataset, keep=args.keep
+        )
+        print(
+            f"published {root}/{manifest.filename} "
+            f"(generation {manifest.generation})"
+        )
+    return 1 if failures else 0
+
+
+def _compare_rankers(incremental, full) -> list[str]:
+    """Keywords whose vectors differ between two rankers (bit-exact)."""
+    import numpy as np
+
+    mismatched = [
+        keyword
+        for keyword in full.keywords
+        if not incremental.has_keyword(keyword)
+        or not np.array_equal(incremental.vector(keyword), full.vector(keyword))
+    ]
+    mismatched.extend(
+        keyword for keyword in incremental.keywords if not full.has_keyword(keyword)
+    )
+    return mismatched
+
+
 def cmd_repl(args: argparse.Namespace) -> int:
     """The ``repro repl`` subcommand."""
     import sys as _sys
@@ -277,9 +411,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_concurrency=args.max_concurrency,
         deadline_seconds=args.deadline,
         store_dir=args.store,
+        ingest=args.ingest,
+        ingest_staleness_bound=args.staleness_bound,
+        ingest_refresh_mode=args.refresh_mode,
     )
 
     if args.workers and args.workers > 1:
+        if args.ingest:
+            # Each prefork worker owns a private engine, so a mutation POSTed
+            # to one worker would be invisible to its siblings.  The cluster
+            # path for live updates is the builder flow: `repro ingest
+            # --store DIR` publishes a refreshed generation that every
+            # worker picks up through the store manifest.
+            print(
+                "error: --ingest requires single-process mode; for clusters "
+                "publish refreshed generations with `repro ingest --store`",
+                file=sys.stderr,
+            )
+            return 2
         import signal
 
         from repro.serve.cluster import ClusterConfig, ClusterSupervisor
@@ -330,10 +479,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"loading dataset {name} ...", file=sys.stderr)
         service.preload()
     server = create_server(service, args.host, args.port, quiet=args.quiet)
+    endpoints = "/search /explain /feedback/reformulate"
+    if config.ingest:
+        endpoints += " /ingest"
     print(
         f"repro-serve listening on {server.url} "
         f"(datasets: {', '.join(config.datasets)}; "
-        f"endpoints: /search /explain /feedback/reformulate /healthz /metrics)"
+        f"endpoints: {endpoints} /healthz /metrics)"
     )
     _signum, drained = serve_until_shutdown(
         server, drain_timeout=args.drain_timeout
@@ -486,6 +638,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     precompute.set_defaults(func=cmd_precompute)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="apply a mutation batch and refresh only the dirty columns",
+    )
+    ingest.add_argument("dataset", help="a name from `repro datasets`")
+    ingest.add_argument(
+        "--mutations", required=True, metavar="FILE",
+        help="JSON file holding a list of mutation objects "
+        "({\"op\": \"add_node\" | \"remove_node\" | \"update_node\" | "
+        "\"add_edge\" | \"remove_edge\", ...})",
+    )
+    ingest.add_argument("--scale", type=float, default=1.0)
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument(
+        "--mode", choices=["exact", "warm"], default="exact",
+        help="exact recomputes dirty columns cold (bit-identical to a full "
+        "rebuild); warm restarts them from the previous fixpoints",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the blocked refresh (default: in-process)",
+    )
+    ingest.add_argument(
+        "--min-df", type=int, default=2,
+        help="precompute only terms with document frequency >= N",
+    )
+    ingest.add_argument(
+        "--compare-full", action="store_true",
+        help="also run the from-scratch precompute and verify bit-identity",
+    )
+    ingest.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="publish the refreshed matrix under DIR/<dataset>/ as the next "
+        "store generation",
+    )
+    ingest.add_argument(
+        "--keep", type=int, default=2,
+        help="with --store: generations retained after publishing",
+    )
+    ingest.set_defaults(func=cmd_ingest)
+
     serve = sub.add_parser("serve", help="HTTP query service with caching + metrics")
     serve.add_argument(
         "datasets",
@@ -533,6 +726,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--admin-port", type=int, default=None,
         help="with --workers: supervisor admin port (aggregated /metrics, "
         "/healthz, /workers on 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--ingest", action="store_true",
+        help="enable the /ingest mutation endpoint with online precompute "
+        "maintenance (single-process mode only)",
+    )
+    serve.add_argument(
+        "--staleness-bound", type=int, default=0, metavar="N",
+        help="with --ingest: serve at most N pending mutations before a "
+        "synchronous refresh (default 0: refresh before the next query)",
+    )
+    serve.add_argument(
+        "--refresh-mode", choices=["exact", "warm"], default="exact",
+        help="with --ingest: dirty-column refresh mode (exact is "
+        "bit-identical to a full rebuild; warm reuses previous fixpoints)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -56,6 +56,10 @@ class RateError(ReproError):
     """Invalid authority transfer rates (negative, or unknown edge type)."""
 
 
+class IngestError(ReproError):
+    """A malformed or inapplicable ingest mutation."""
+
+
 class ConvergenceError(ReproError):
     """An iterative fixpoint computation failed to converge."""
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.errors import DuplicateNodeError, UnknownNodeError
+from repro.errors import DuplicateNodeError, GraphError, UnknownNodeError
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,7 @@ class DataGraph:
         self._edges: list[DataEdge] = []
         self._out: dict[str, list[DataEdge]] = {}
         self._in: dict[str, list[DataEdge]] = {}
+        self._version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -81,6 +82,7 @@ class DataGraph:
         self._nodes[node_id] = node
         self._out[node_id] = []
         self._in[node_id] = []
+        self._version += 1
         return node
 
     def add_edge(self, source: str, target: str, role: str | None = None) -> DataEdge:
@@ -91,7 +93,84 @@ class DataGraph:
         self._edges.append(edge)
         self._out[source].append(edge)
         self._in[target].append(edge)
+        self._version += 1
         return edge
+
+    # -- mutation ----------------------------------------------------------
+
+    def update_attributes(self, node_id: str, attributes: dict[str, str]) -> DataNode:
+        """Replace one node's attributes (label and edges untouched).
+
+        The content-only mutation: the node set and edge set are unchanged,
+        so everything derived from topology (dense indices, transfer
+        matrices) stays valid — only the node's document text changes.
+        """
+        old = self._nodes.get(node_id)
+        if old is None:
+            raise UnknownNodeError(node_id)
+        node = DataNode(node_id, old.label, dict(attributes))
+        self._nodes[node_id] = node
+        self._version += 1
+        return node
+
+    def remove_node(self, node_id: str) -> DataNode:
+        """Remove a node and every edge incident to it."""
+        node = self._nodes.pop(node_id, None)
+        if node is None:
+            raise UnknownNodeError(node_id)
+        del self._out[node_id]
+        del self._in[node_id]
+        self._edges = [
+            e for e in self._edges if e.source != node_id and e.target != node_id
+        ]
+        for edges in self._out.values():
+            edges[:] = [e for e in edges if e.target != node_id]
+        for edges in self._in.values():
+            edges[:] = [e for e in edges if e.source != node_id]
+        self._version += 1
+        return node
+
+    def remove_edge(
+        self, source: str, target: str, role: str | None = None
+    ) -> DataEdge:
+        """Remove the first ``source -> target`` edge (any role when ``role``
+        is ``None``; parallel duplicates are removed one at a time)."""
+        for node_id in (source, target):
+            if node_id not in self._nodes:
+                raise UnknownNodeError(node_id)
+        for position, edge in enumerate(self._edges):
+            if (
+                edge.source == source
+                and edge.target == target
+                and (role is None or edge.role == role)
+            ):
+                del self._edges[position]
+                self._out[source].remove(edge)
+                self._in[target].remove(edge)
+                self._version += 1
+                return edge
+        wanted = f" [{role}]" if role is not None else ""
+        raise GraphError(f"no edge {source!r} -> {target!r}{wanted} to remove")
+
+    def copy(self) -> "DataGraph":
+        """An independent copy (nodes are immutable and shared by reference)."""
+        clone = DataGraph()
+        clone._nodes = dict(self._nodes)
+        clone._edges = list(self._edges)
+        clone._out = {nid: list(edges) for nid, edges in self._out.items()}
+        clone._in = {nid: list(edges) for nid, edges in self._in.items()}
+        clone._version = self._version
+        return clone
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every successful mutation.
+
+        Consumers that snapshot derived structures (precomputed score
+        matrices, serve caches) record this and compare later: an unequal
+        version means the graph they derived from no longer exists.
+        """
+        return self._version
 
     # -- inspection --------------------------------------------------------
 

@@ -1,0 +1,174 @@
+"""Typed mutation records for incremental ingest.
+
+A mutation is a small frozen value object describing one change to the data
+graph: add/remove an object (paper, author, venue — any labeled node),
+add/remove a relationship (citation, authorship), or replace an object's
+attributes.  Mutations arrive either programmatically (constructed directly
+and handed to :class:`repro.ingest.engine.IngestEngine`) or as JSON over the
+serve tier's ``/ingest`` endpoint, where :func:`mutation_from_json` parses
+and validates them.
+
+The JSON wire shape is ``{"op": <name>, ...}``::
+
+    {"op": "add_node",    "node_id": "p1", "label": "Paper",
+                          "attributes": {"title": "..."}}
+    {"op": "remove_node", "node_id": "p1"}
+    {"op": "add_edge",    "source": "p1", "target": "p2", "role": "cites"}
+    {"op": "remove_edge", "source": "p1", "target": "p2", "role": "cites"}
+    {"op": "update_node", "node_id": "p1", "attributes": {"title": "..."}}
+
+``role`` is optional on edges (matching :class:`repro.graph.data_graph`
+semantics).  Malformed payloads raise :class:`repro.errors.IngestError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import IngestError
+
+
+@dataclass(frozen=True)
+class AddNode:
+    """Insert one object into the data graph."""
+
+    node_id: str
+    label: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    op = "add_node"
+
+    def describe(self) -> dict:
+        """JSON-shaped echo of this mutation (for responses and logs)."""
+        return {"op": self.op, "node_id": self.node_id, "label": self.label}
+
+
+@dataclass(frozen=True)
+class RemoveNode:
+    """Remove one object (and every edge incident to it)."""
+
+    node_id: str
+
+    op = "remove_node"
+
+    def describe(self) -> dict:
+        """JSON-shaped echo of this mutation (for responses and logs)."""
+        return {"op": self.op, "node_id": self.node_id}
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Insert one relationship between existing objects."""
+
+    source: str
+    target: str
+    role: str | None = None
+
+    op = "add_edge"
+
+    def describe(self) -> dict:
+        """JSON-shaped echo of this mutation (for responses and logs)."""
+        return {
+            "op": self.op,
+            "source": self.source,
+            "target": self.target,
+            "role": self.role,
+        }
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Remove one relationship (any role when ``role`` is ``None``)."""
+
+    source: str
+    target: str
+    role: str | None = None
+
+    op = "remove_edge"
+
+    def describe(self) -> dict:
+        """JSON-shaped echo of this mutation (for responses and logs)."""
+        return {
+            "op": self.op,
+            "source": self.source,
+            "target": self.target,
+            "role": self.role,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateNode:
+    """Replace one object's attributes (topology untouched)."""
+
+    node_id: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    op = "update_node"
+
+    def describe(self) -> dict:
+        """JSON-shaped echo of this mutation (for responses and logs)."""
+        return {"op": self.op, "node_id": self.node_id}
+
+
+Mutation = Union[AddNode, RemoveNode, AddEdge, RemoveEdge, UpdateNode]
+
+
+def _require_str(obj: dict, key: str, op: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str) or not value:
+        raise IngestError(f"{op}: {key!r} must be a non-empty string")
+    return value
+
+
+def _optional_role(obj: dict, op: str) -> str | None:
+    role = obj.get("role")
+    if role is not None and not isinstance(role, str):
+        raise IngestError(f"{op}: 'role' must be a string or omitted")
+    return role
+
+
+def _attributes(obj: dict, op: str) -> dict[str, str]:
+    attributes = obj.get("attributes", {})
+    if not isinstance(attributes, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in attributes.items()
+    ):
+        raise IngestError(f"{op}: 'attributes' must map strings to strings")
+    return dict(attributes)
+
+
+def mutation_from_json(obj: object) -> Mutation:
+    """Parse one wire-format mutation dict into its typed record.
+
+    Raises :class:`~repro.errors.IngestError` on an unknown ``op`` or a
+    malformed field — the serve tier maps that to a per-mutation error entry
+    rather than failing the whole batch.
+    """
+    if not isinstance(obj, dict):
+        raise IngestError(f"mutation must be an object, got {type(obj).__name__}")
+    op = obj.get("op")
+    if op == "add_node":
+        return AddNode(
+            _require_str(obj, "node_id", op),
+            _require_str(obj, "label", op),
+            _attributes(obj, op),
+        )
+    if op == "remove_node":
+        return RemoveNode(_require_str(obj, "node_id", op))
+    if op == "add_edge":
+        return AddEdge(
+            _require_str(obj, "source", op),
+            _require_str(obj, "target", op),
+            _optional_role(obj, op),
+        )
+    if op == "remove_edge":
+        return RemoveEdge(
+            _require_str(obj, "source", op),
+            _require_str(obj, "target", op),
+            _optional_role(obj, op),
+        )
+    if op == "update_node":
+        return UpdateNode(
+            _require_str(obj, "node_id", op), _attributes(obj, op)
+        )
+    raise IngestError(f"unknown mutation op: {op!r}")

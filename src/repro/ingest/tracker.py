@@ -1,0 +1,82 @@
+"""Dirty-keyword tracking for online precompute maintenance.
+
+The precomputed keyword→score matrix has one column per vocabulary keyword.
+A mutation invalidates columns in one of two ways:
+
+* **content-only** (attribute update on an existing node): the node set and
+  the transfer matrix are unchanged, so only keywords whose *base set*
+  changed — terms that entered or left the node's document, i.e. the
+  symmetric difference of its old and new term sets — have a different
+  restart vector.  Term-frequency changes alone dirty nothing: base weights
+  are uniform over matching documents, so membership is all that matters.
+* **topology** (node/edge added or removed): the matrix ``A`` (and possibly
+  the dimension ``n``) changes, which perturbs *every* column's fixpoint —
+  all columns are dirty.
+
+The tracker accumulates that classification between refreshes.  It is not
+thread-safe by itself; :class:`repro.ingest.engine.IngestEngine` serializes
+access under its own lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class DirtyKeywordTracker:
+    """Accumulates which precomputed columns the pending mutations dirtied."""
+
+    def __init__(self) -> None:
+        self._dirty: set[str] = set()
+        self._topology = False
+        self._pending = 0
+
+    def note_content(self, keywords: Iterable[str]) -> None:
+        """Record a content-only mutation dirtying exactly ``keywords``."""
+        self._dirty.update(keywords)
+        self._pending += 1
+
+    def note_topology(self) -> None:
+        """Record a topology mutation (every column is dirty)."""
+        self._topology = True
+        self._pending += 1
+
+    @property
+    def dirty_keywords(self) -> frozenset[str]:
+        """Keywords whose base sets changed since the last refresh."""
+        return frozenset(self._dirty)
+
+    @property
+    def topology_dirty(self) -> bool:
+        """Whether any pending mutation changed the graph topology."""
+        return self._topology
+
+    @property
+    def pending(self) -> int:
+        """Mutations recorded since the last refresh (or clear)."""
+        return self._pending
+
+    def snapshot(self) -> tuple[frozenset[str], bool, int]:
+        """The current ``(dirty keywords, topology flag, pending count)``."""
+        return frozenset(self._dirty), self._topology, self._pending
+
+    def clear(self) -> None:
+        """Reset after a successful refresh consumed the recorded dirt."""
+        self._dirty.clear()
+        self._topology = False
+        self._pending = 0
+
+    def merge(
+        self, dirty: frozenset[str], topology: bool, pending: int
+    ) -> None:
+        """Fold a snapshot back in (a refresh that failed mid-build must
+        restore the dirt it froze, on top of anything recorded since)."""
+        self._dirty.update(dirty)
+        self._topology = self._topology or topology
+        self._pending += pending
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DirtyKeywordTracker(pending={self._pending}, "
+            f"dirty={len(self._dirty)}, topology={self._topology})"
+        )

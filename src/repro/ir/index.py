@@ -75,6 +75,24 @@ class InvertedIndex:
             terms[term] = terms.get(term, 0) + 1
         self._doc_terms[doc_id] = terms
 
+    def copy(self) -> "InvertedIndex":
+        """An independent copy with identical statistics and term order.
+
+        Term and document iteration order (and therefore everything derived
+        from it, e.g. precomputed-vocabulary order) is preserved, so a copy
+        can stand in for the original in determinism-sensitive rebuilds.
+        """
+        clone = InvertedIndex(self.analyzer)
+        clone._postings = {
+            term: dict(postings) for term, postings in self._postings.items()
+        }
+        clone._doc_terms = {
+            doc_id: dict(terms) for doc_id, terms in self._doc_terms.items()
+        }
+        clone._doc_length = dict(self._doc_length)
+        clone._total_length = self._total_length
+        return clone
+
     def remove_document(self, doc_id: str) -> None:
         """Drop a document from the index (used by residual-collection eval)."""
         if doc_id not in self._doc_length:

@@ -96,6 +96,35 @@ class SearchEngine:
         self._views: OrderedDict[tuple, AuthorityTransferDataGraph] = OrderedDict()
         self._view_builds: dict[tuple, _ViewBuild] = {}
 
+    def adopt(
+        self,
+        data_graph: DataGraph,
+        transfer_schema: AuthorityTransferSchemaGraph,
+        graph: AuthorityTransferDataGraph,
+        index: InvertedIndex,
+    ) -> None:
+        """Swap in a new graph snapshot (the ingest refresh handover).
+
+        ``graph``/``index`` must already be built over ``data_graph`` under
+        ``transfer_schema`` — the expensive construction happens in the
+        caller (outside any lock); this method only republishes references
+        and drops the learned-rate view cache, which indexed the old
+        topology.  An in-flight request that already resolved the old graph
+        keeps using it coherently (the old objects stay alive and
+        internally consistent), exactly like a store generation swap; only
+        *new* lookups see the adopted snapshot.  In-flight ``_view_builds``
+        latches are left alone: a build that races the swap caches a view
+        of the old topology under a rate key, which the next miss on that
+        key simply rebuilds — stale entries age out of the small LRU.
+        """
+        with self._view_lock:
+            self.data_graph = data_graph
+            self.transfer_schema = transfer_schema
+            self.graph = graph
+            self.index = index
+            self.scorer = BM25Scorer(index)
+            self._views.clear()
+
     def transfer_view(
         self, rates: AuthorityTransferSchemaGraph | None = None
     ) -> AuthorityTransferDataGraph:

@@ -2,14 +2,20 @@
 
 The paper's system answers queries over a fixed snapshot; a deployed
 bibliographic or biological database keeps growing.  ``LiveSearchEngine``
-accepts node and edge insertions at any time:
+accepts node and edge insertions, removals and attribute updates at any
+time:
 
 * the inverted index is updated *incrementally* (one document in/out);
 * the authority transfer data graph is rebuilt *lazily*, only when the next
-  search actually needs it (insertions are typically bursty);
+  search actually needs it (mutations are typically bursty);
 * previous scores remain usable as warm starts across rebuilds — scores are
-  carried over by node id, with new nodes seeded at the uniform prior, so an
-  insertion burst does not reset the Section 6.2 convergence advantage.
+  carried over by node id, with new nodes seeded at the uniform prior and
+  the carried vector renormalized to unit mass, so a mutation burst does
+  not reset the Section 6.2 convergence advantage.
+
+``pending_updates`` counts only *successful* mutations: a rejected mutation
+(duplicate node, unknown endpoint) leaves the engine — including the
+counter — exactly as it was.
 """
 
 from __future__ import annotations
@@ -74,9 +80,42 @@ class LiveSearchEngine:
         self._graph = None
         self._pending += 1
 
+    def update_node(
+        self, node_id: str, attributes: dict[str, str]
+    ) -> DataNode:
+        """Replace an object's attributes and re-index its document.
+
+        Topology is untouched, but the materialized transfer graph is still
+        invalidated so the rebuild bookkeeping (``pending_updates``) treats
+        every mutation kind uniformly.
+        """
+        node = self.data_graph.update_attributes(node_id, attributes)
+        self.index.add_document(node_id, node.text())
+        self._graph = None
+        self._pending += 1
+        return node
+
+    def remove_node(self, node_id: str) -> DataNode:
+        """Remove an object (and its edges); it stops being searchable now.
+
+        The graph removal runs first — if it raises (unknown node), neither
+        the index nor ``pending_updates`` changes.
+        """
+        node = self.data_graph.remove_node(node_id)
+        self.index.remove_document(node_id)
+        self._graph = None
+        self._pending += 1
+        return node
+
+    def remove_edge(self, source: str, target: str, role: str | None = None) -> None:
+        """Remove a relationship; rankings forget it on the next search."""
+        self.data_graph.remove_edge(source, target, role)
+        self._graph = None
+        self._pending += 1
+
     @property
     def pending_updates(self) -> int:
-        """Inserts since the last materialized transfer graph."""
+        """Successful mutations since the last materialized transfer graph."""
         return self._pending
 
     # -- querying ------------------------------------------------------------
@@ -97,7 +136,11 @@ class LiveSearchEngine:
         """Map a previous result's scores onto the current node set.
 
         Node ids that survived keep their score; new nodes start at the
-        uniform prior.  Returns ``None`` when there is nothing to carry.
+        uniform prior; the result is renormalized to sum to 1 — mixing
+        carried scores (which sum to ~1) with uniform-prior seeds would
+        otherwise inflate the vector's mass and distort the first
+        post-rebuild iteration.  Returns ``None`` when there is nothing to
+        carry.
         """
         if previous is None:
             return None
@@ -110,6 +153,9 @@ class LiveSearchEngine:
             old_index = previous_index.get(node_id)
             if old_index is not None:
                 carried[new_index] = previous.ranked.scores[old_index]
+        total = carried.sum()
+        if total > 0.0:
+            carried /= total
         return carried
 
     def search(

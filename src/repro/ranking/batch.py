@@ -466,12 +466,15 @@ def batched_objectrank(
     compact: bool = True,
     workers: int | None = None,
     pool: str = "process",
+    init: np.ndarray | None = None,
 ) -> list[RankedResult]:
     """One :func:`~repro.ranking.objectrank.objectrank` per base set, blocked.
 
     All base sets share one CSR matrix and one blocked fixpoint; each
     returned :class:`RankedResult` is identical to the serial call for its
     base set (scores, iteration count, residuals, uniform base weights).
+    ``init`` seeds the iteration (``(n,)`` broadcast or ``(n, k)`` per base
+    set) — the Section 6.2 warm start for incremental re-convergence.
     """
     if not base_sets:
         return []
@@ -486,7 +489,7 @@ def batched_objectrank(
         transposed[j] = restart_distribution(n, graph.indices_of(list(base_nodes)))
     outcome = batched_power_iteration(
         graph.matrix(), transposed.T, damping, tolerance, max_iterations,
-        compact=compact, workers=workers, pool=pool,
+        init=init, compact=compact, workers=workers, pool=pool,
     )
     results = []
     for j, base_nodes in enumerate(base_sets):
@@ -514,18 +517,34 @@ def batched_keyword_vectors(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     workers: int | None = None,
     pool: str = "process",
+    init: dict[str, np.ndarray] | None = None,
 ) -> dict[str, RankedResult]:
     """Per-keyword ObjectRank for every keyword with a non-empty base set.
 
     The [BHP04]/[Hav02] precomputation core: one blocked run over the whole
     keyword family instead of ``|keywords|`` serial fixpoints.  Keywords that
-    match no document are skipped (they have no authority vector).
+    match no document are skipped (they have no authority vector).  ``init``
+    optionally maps keywords to ``(n,)`` warm-start vectors (incremental
+    refresh seeds dirty columns with their previous fixpoints); keywords not
+    in the map start at the default uniform ``1/n``, exactly as with no
+    ``init`` at all.
     """
     matched = [
         (keyword, index.documents_with_term(keyword))
         for keyword in dict.fromkeys(keywords)
     ]
     matched = [(keyword, base) for keyword, base in matched if base]
+    block_init: np.ndarray | None = None
+    if init is not None and matched:
+        n = graph.num_nodes
+        # Explicit uniform fill for unmapped columns is bit-identical to the
+        # engine's own default start (`block[:] = scores` writes the same
+        # floats `block.fill(1/n)` would).
+        block_init = np.full((n, len(matched)), 1.0 / n if n else 0.0)
+        for j, (keyword, _) in enumerate(matched):
+            seed = init.get(keyword)
+            if seed is not None:
+                block_init[:, j] = seed
     results = batched_objectrank(
         graph,
         [base for _, base in matched],
@@ -534,6 +553,7 @@ def batched_keyword_vectors(
         max_iterations,
         workers=workers,
         pool=pool,
+        init=block_init,
     )
     return {keyword: result for (keyword, _), result in zip(matched, results)}
 

@@ -73,6 +73,7 @@ class PrecomputedRanker:
         self.min_coverage = min_coverage
         self._scorer = BM25Scorer(index)
         self._rates_snapshot = graph.transfer_schema.copy()
+        self._graph_version = graph.data_graph.version
         if keywords is None:
             keywords = [
                 term
@@ -90,11 +91,54 @@ class PrecomputedRanker:
             sum(result.iterations for result in built.values())
         )
 
+    @classmethod
+    def from_vectors(
+        cls,
+        graph: AuthorityTransferDataGraph,
+        index: InvertedIndex,
+        vectors: dict[str, np.ndarray],
+        damping: float = DEFAULT_DAMPING,
+        min_coverage: float = 1.0,
+        build_iterations: int = 0,
+    ) -> "PrecomputedRanker":
+        """Assemble a ranker from already-computed per-keyword vectors.
+
+        The incremental-refresh entry point (:mod:`repro.ingest`): carried
+        and re-converged columns are combined outside and handed over here,
+        skipping the constructor's full-vocabulary build.  ``vectors``
+        insertion order becomes :attr:`keywords` order, so callers must
+        supply it in the same vocabulary order a full rebuild would use for
+        the two to be interchangeable.
+        """
+        if not 0.0 <= min_coverage <= 1.0:
+            raise ValueError(f"min_coverage must be in [0, 1], got {min_coverage}")
+        ranker = object.__new__(cls)
+        ranker.graph = graph
+        ranker.index = index
+        ranker.damping = damping
+        ranker.min_coverage = min_coverage
+        ranker._scorer = BM25Scorer(index)
+        ranker._rates_snapshot = graph.transfer_schema.copy()
+        ranker._graph_version = graph.data_graph.version
+        ranker._vectors = dict(vectors)
+        ranker.build_iterations = int(build_iterations)
+        return ranker
+
     # -- cache inspection ------------------------------------------------------
 
     @property
     def keywords(self) -> list[str]:
         return list(self._vectors)
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Node ids the vectors are indexed by (graph row order)."""
+        return self.graph.node_ids
+
+    @property
+    def graph_version(self) -> int:
+        """The data-graph version the vectors were computed at."""
+        return self._graph_version
 
     @property
     def rates_snapshot(self) -> AuthorityTransferSchemaGraph:
@@ -131,15 +175,28 @@ class PrecomputedRanker:
         )
         return cached / total
 
-    def is_stale(self, rates: AuthorityTransferSchemaGraph | None = None) -> bool:
-        """Whether the cache no longer matches the (possibly learned) rates.
+    def is_stale(
+        self,
+        rates: AuthorityTransferSchemaGraph | None = None,
+        graph_version: int | None = None,
+    ) -> bool:
+        """Whether the cache no longer matches the rates *or* the graph.
 
         Structure-based reformulation changes the transfer rates, which the
-        precomputed vectors baked in; a stale cache must be rebuilt (or the
-        query answered on the fly).
+        precomputed vectors baked in; a graph mutation (node or edge added,
+        removed or updated) changes the fixpoints themselves.  Either makes
+        the cache stale.  The graph check compares ``graph_version`` (or,
+        when omitted, the live data graph's current version) against the
+        version snapshotted at build time — rates alone used to be checked
+        here, which let serve keep answering from vectors of a graph that no
+        longer existed.
         """
         current = rates if rates is not None else self.graph.transfer_schema
-        return current != self._rates_snapshot
+        if current != self._rates_snapshot:
+            return True
+        if graph_version is None:
+            graph_version = self.graph.data_graph.version
+        return graph_version != self._graph_version
 
     # -- query answering ---------------------------------------------------------
 

@@ -11,6 +11,8 @@ Stdlib-only (``http.server``), one thread per connection via
                                   "max_edges"}``
 ``/feedback/reformulate`` POST    ``{"dataset", "query", "relevant_ids",
                                   "apply"}``
+``/ingest``               POST    ``{"dataset", "mutations": [...],
+                                  "refresh"}`` (requires ``--ingest``)
 ``/healthz``              GET     liveness + cache summary (never throttled)
 ``/metrics``              GET     Prometheus text format (never throttled)
 ========================  ======  ==============================================
@@ -250,6 +252,7 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
             "/search": self._search_from_body,
             "/explain": self._explain_from_body,
             "/feedback/reformulate": self._reformulate_from_body,
+            "/ingest": self._ingest_from_body,
         }
         handler = routes.get(parsed.path)
         if handler is None:
@@ -369,6 +372,21 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
             [str(node_id) for node_id in relevant],
             apply=bool(body.get("apply", True)),
             deadline=deadline,
+        )
+
+    def _ingest_from_body(self, deadline: Deadline) -> dict:
+        body = self._read_json_body()
+        dataset = body.get("dataset")
+        mutations = body.get("mutations")
+        if not dataset or not isinstance(mutations, list) or not mutations:
+            raise _BadRequest(
+                "fields 'dataset' and a non-empty 'mutations' list are required"
+            )
+        refresh = body.get("refresh", "auto")
+        if not isinstance(refresh, str):
+            raise _BadRequest("'refresh' must be one of 'auto', 'force', 'none'")
+        return self.service.ingest(
+            dataset, mutations, refresh=refresh, deadline=deadline
         )
 
 

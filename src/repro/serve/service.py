@@ -35,6 +35,9 @@ from repro.explain.batch import (
     batched_build_explaining_subgraphs,
 )
 from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.graph.data_graph import DataGraph
+from repro.ingest.engine import IngestEngine
+from repro.ingest.mutations import Mutation, mutation_from_json
 from repro.query.engine import SearchEngine
 from repro.query.query import KeywordQuery, QueryVector
 from repro.ranking.convergence import RankedResult
@@ -128,6 +131,16 @@ class ServeConfig:
     explain_workers: int | None = None
     max_concurrency: int = 8
     deadline_seconds: float = 30.0
+    #: Accept ``/ingest`` mutations and maintain the precomputed matrix
+    #: online (dirty-keyword incremental refresh, see :mod:`repro.ingest`).
+    ingest: bool = False
+    #: Pending mutations tolerated before a search/explain request forces a
+    #: synchronous refresh (0 = never serve with pending mutations).
+    ingest_staleness_bound: int = 0
+    #: Dirty-column refresh mode: ``"exact"`` re-converges dirty columns
+    #: cold (bit-identical to a full precompute), ``"warm"`` seeds them from
+    #: their previous fixpoints (fewer iterations, tolerance-equal scores).
+    ingest_refresh_mode: str = "exact"
 
 
 class DatasetRuntime:
@@ -169,6 +182,112 @@ class DatasetRuntime:
                 min_coverage=config.precompute_min_coverage,
                 refresh_seconds=config.store_refresh_seconds,
             )
+        # Ingest: mutations buffer in the engine's working copies while
+        # serving continues on the last adopted snapshot; refresh_ingest
+        # swaps snapshots and republishes the precomputed ranker.
+        self.ingest: IngestEngine | None = None
+        self._ingest_lock = threading.Lock()
+        #: guarded by self._ingest_lock
+        self._ingest_epoch = 0
+        #: guarded by self._ingest_lock
+        self._ingest_ranker: PrecomputedRanker | None = None
+        if config.ingest:
+            self.ingest = IngestEngine(
+                dataset.data_graph,
+                dataset.transfer_schema,
+                min_document_frequency=config.precompute_min_document_frequency,
+                min_coverage=config.precompute_min_coverage,
+            )
+
+    @property
+    def data_graph(self) -> DataGraph:
+        """The data graph currently being served (tracks ingest adoptions).
+
+        Payload builders must read this (not ``dataset.data_graph``): after
+        a refresh the engine serves an adopted snapshot and the original
+        dataset object no longer describes the served topology.
+        """
+        return self.engine.data_graph
+
+    @property
+    def ingest_epoch(self) -> int:
+        """Adopted ingest snapshots so far (0 = the original dataset)."""
+        with self._ingest_lock:
+            return self._ingest_epoch
+
+    def staleness_info(self) -> dict | None:
+        """The response ``staleness`` field; ``None`` when ingest is off."""
+        if self.ingest is None:
+            return None
+        info = self.ingest.staleness().as_dict()
+        info["epoch"] = self.ingest_epoch
+        return info
+
+    def refresh_ingest(
+        self,
+        mode: str | None = None,
+        workers: int | None = None,
+        force: bool = False,
+    ) -> dict | None:
+        """Synchronously refresh + adopt + publish; ``None`` when a no-op.
+
+        Re-converges the dirty columns (incremental against the last
+        published ranker), swaps the engine onto the refreshed snapshot,
+        and republishes the ranker — through the store's generation-swap
+        protocol when store-backed (cluster workers pick it up between
+        requests), by replacing the in-process ranker otherwise.  Serialized
+        under the ingest lock; mutations keep landing concurrently and are
+        picked up by the next refresh.
+        """
+        if self.ingest is None:
+            return None
+        with self._ingest_lock:
+            if self.ingest.pending_mutations == 0 and not force:
+                return None
+            previous = self._ingest_ranker
+            if previous is None and self.store is None and self.config.precompute:
+                with self._precompute_lock:
+                    # Seed the first incremental refresh from the lazily
+                    # built startup ranker (same snapshot the working copy
+                    # started from), instead of a full rebuild.
+                    previous = self._precomputed
+            result = self.ingest.refresh(
+                previous=previous,
+                rates=self.rates,
+                mode=mode if mode is not None else self.config.ingest_refresh_mode,
+                workers=(
+                    workers
+                    if workers is not None
+                    else self.config.precompute_workers
+                ),
+                precompute=self.config.precompute or self.store is not None,
+            )
+            self.engine.adopt(
+                result.data_graph,
+                result.graph.transfer_schema,
+                result.graph,
+                result.index,
+            )
+            if result.ranker is not None:
+                if self.store is not None:
+                    self.store.publish(result.ranker, self.name)
+                else:
+                    with self._precompute_lock:
+                        self._precomputed = result.ranker
+                        self._precompute_built = True
+            self._ingest_ranker = result.ranker
+            self._ingest_epoch += 1
+            epoch = self._ingest_epoch
+        return {
+            "epoch": epoch,
+            "mode": result.mode,
+            "full_rebuild": result.full_rebuild,
+            "recomputed_columns": len(result.recomputed),
+            "carried_columns": len(result.carried),
+            "iterations": result.iterations,
+            "pending_consumed": result.pending_consumed,
+            "elapsed_seconds": result.elapsed_seconds,
+        }
 
     @property
     def rates(self) -> AuthorityTransferSchemaGraph:
@@ -327,6 +446,22 @@ class QueryService:
             "repro_cache_invalidations_total",
             "Cache entries dropped by reformulation-driven invalidation",
         )
+        self._ingest_mutations = m.counter(
+            "repro_ingest_mutations_total",
+            "Mutations applied through /ingest",
+        )
+        self._ingest_refreshes = m.counter(
+            "repro_ingest_refreshes_total",
+            "Incremental precompute refreshes (adopt + publish cycles)",
+        )
+        self._ingest_recomputed = m.counter(
+            "repro_ingest_columns_recomputed_total",
+            "Precomputed columns re-converged by incremental refreshes",
+        )
+        self._ingest_carried = m.counter(
+            "repro_ingest_columns_carried_total",
+            "Precomputed columns carried unchanged across refreshes",
+        )
         self._or_iterations = m.counter(
             "repro_objectrank_iterations_total",
             "Power-iteration steps spent answering live queries",
@@ -392,6 +527,7 @@ class QueryService:
         start = time.perf_counter()
         self._requests.inc()
         runtime = self.runtime(dataset)
+        self._ingest_maybe_refresh(runtime)
         vector = runtime.engine.query_vector(query)
         rates = runtime.rates
         k = top_k if top_k is not None else self.config.default_top_k
@@ -410,12 +546,19 @@ class QueryService:
         key = make_key(dataset, vector, rates, k) + ((labels,) if labels else ())
         if generation is not None:
             key += (("gen", generation),)
+        staleness = None
+        if runtime.ingest is not None:
+            # The adopted-snapshot epoch keys the cache alongside the rate
+            # fingerprint: an ingest refresh starts a fresh cohort, so a
+            # pre-mutation entry can never answer a post-mutation request.
+            staleness = runtime.staleness_info()
+            key += (("epoch", staleness["epoch"]),)
 
         if mode == "auto":
             cached = self.cache.get(key)
             if cached is not None:
                 self._cache_hits.inc()
-                return self._finish(cached, "cache", start)
+                return self._finish(cached, "cache", start, staleness)
             self._cache_misses.inc()
 
         if deadline is not None:
@@ -472,8 +615,8 @@ class QueryService:
                 {
                     "rank": rank,
                     "id": node_id,
-                    "label": runtime.dataset.data_graph.node(node_id).label,
-                    "caption": _caption(runtime.dataset, node_id),
+                    "label": _label(runtime.data_graph, node_id),
+                    "caption": _caption(runtime.data_graph, node_id),
                     "score": score,
                 }
                 for rank, (node_id, score) in enumerate(top, start=1)
@@ -489,15 +632,25 @@ class QueryService:
         unanswerable = served_from in ("precomputed", "store") and not ranked.node_ids
         if not unanswerable:
             self.cache.put(key, payload)
-        return self._finish(payload, served_from, start)
+        return self._finish(payload, served_from, start, staleness)
 
-    def _finish(self, payload: dict, served_from: str, start: float) -> dict:
+    def _finish(
+        self,
+        payload: dict,
+        served_from: str,
+        start: float,
+        staleness: dict | None = None,
+    ) -> dict:
         elapsed = time.perf_counter() - start
         self._latency.observe(elapsed)
         self._search_latency.observe(elapsed)
         response = dict(payload)
         response["served_from"] = served_from
         response["elapsed_seconds"] = elapsed
+        if staleness is not None:
+            # Recomputed per response (never from the cached payload): the
+            # bound a client observes must describe *now*, not cache time.
+            response["staleness"] = staleness
         return response
 
     # -- explanation -------------------------------------------------------
@@ -527,6 +680,7 @@ class QueryService:
         start = time.perf_counter()
         self._requests.inc()
         runtime = self.runtime(dataset)
+        self._ingest_maybe_refresh(runtime)
         vector = runtime.engine.query_vector(query)
         rates = runtime.rates
         key = (
@@ -536,6 +690,11 @@ class QueryService:
             target,
             self.config.radius,
         )
+        if runtime.ingest is not None:
+            # Same epoch cohorting as the result cache: an explanation's
+            # subgraph references topology, so it must never outlive the
+            # snapshot it was extracted from.
+            key += (("epoch", runtime.ingest_epoch),)
         cached = self.explain_cache.get(key)
         if cached is not None:
             self._explain_cache_hits.inc()
@@ -562,7 +721,7 @@ class QueryService:
             "dataset": dataset,
             "query": dict(vector.weights),
             "target": target,
-            "target_caption": _caption(runtime.dataset, target),
+            "target_caption": _caption(runtime.data_graph, target),
             "target_inflow": explanation.target_inflow(),
             "adjustment_iterations": explanation.iterations,
             "converged": explanation.converged,
@@ -587,6 +746,110 @@ class QueryService:
         self._latency.observe(elapsed)
         payload["elapsed_seconds"] = elapsed
         return payload
+
+    # -- ingest ------------------------------------------------------------
+
+    INGEST_REFRESH_MODES = ("auto", "force", "none")
+
+    def ingest(
+        self,
+        dataset: str,
+        mutations: list,
+        refresh: str = "auto",
+        deadline: Deadline | None = None,
+    ) -> dict:
+        """Apply a mutation batch; refresh per policy; report staleness.
+
+        ``mutations`` mixes typed records and wire-format dicts (parsed via
+        :func:`repro.ingest.mutations.mutation_from_json`).  Failures are
+        per-mutation: a rejected entry lands in the response's ``errors``
+        list (with its position and reason) while the rest of the batch
+        applies — the working state never half-applies a single mutation.
+
+        ``refresh`` picks the policy: ``"auto"`` refreshes only when the
+        staleness bound is exceeded (the same trigger serving uses),
+        ``"force"`` refreshes synchronously before returning, ``"none"``
+        just buffers (a later request or batch pays for the refresh).
+        """
+        if refresh not in self.INGEST_REFRESH_MODES:
+            raise ReproError(
+                f"unknown refresh policy {refresh!r}; expected one of "
+                f"{self.INGEST_REFRESH_MODES}"
+            )
+        start = time.perf_counter()
+        self._requests.inc()
+        runtime = self.runtime(dataset)
+        if runtime.ingest is None:
+            raise ReproError(
+                "ingest is disabled; start the service with ingest=True "
+                "(repro serve --ingest)"
+            )
+        applied = 0
+        errors: list[dict] = []
+        for position, entry in enumerate(mutations):
+            try:
+                mutation: Mutation = (
+                    mutation_from_json(entry) if isinstance(entry, dict) else entry
+                )
+                runtime.ingest.apply(mutation)
+                applied += 1
+            except ReproError as error:
+                errors.append(
+                    {
+                        "position": position,
+                        "op": entry.get("op") if isinstance(entry, dict)
+                        else getattr(entry, "op", None),
+                        "error": str(error),
+                    }
+                )
+        self._ingest_mutations.inc(applied)
+        if deadline is not None:
+            deadline.check("ingest refresh")
+        refreshed = None
+        if refresh == "force":
+            refreshed = self._refresh_runtime(runtime, force=True)
+        elif refresh == "auto":
+            refreshed = self._ingest_maybe_refresh(runtime)
+        payload = {
+            "dataset": dataset,
+            "applied": applied,
+            "errors": errors,
+            "staleness": runtime.staleness_info(),
+            "epoch": runtime.ingest_epoch,
+            "graph_version": runtime.ingest.graph_version,
+            "refresh": refreshed,  # None when this batch only buffered
+        }
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        payload["elapsed_seconds"] = elapsed
+        return payload
+
+    def _ingest_maybe_refresh(self, runtime: DatasetRuntime) -> dict | None:
+        """Refresh iff pending mutations exceed the staleness bound."""
+        if runtime.ingest is None:
+            return None
+        if runtime.ingest.pending_mutations <= self.config.ingest_staleness_bound:
+            return None
+        return self._refresh_runtime(runtime)
+
+    def _refresh_runtime(
+        self, runtime: DatasetRuntime, force: bool = False
+    ) -> dict | None:
+        """Run one refresh cycle and account for it (metrics + caches).
+
+        The epoch in the cache keys already fences stale entries off; the
+        explicit invalidation here just reclaims their memory promptly.
+        """
+        summary = runtime.refresh_ingest(force=force)
+        if summary is None:
+            return None
+        self._ingest_refreshes.inc()
+        self._ingest_recomputed.inc(summary["recomputed_columns"])
+        self._ingest_carried.inc(summary["carried_columns"])
+        invalidated = self.cache.invalidate(runtime.name)
+        invalidated += self.explain_cache.invalidate(runtime.name)
+        self._invalidations.inc(invalidated)
+        return summary
 
     # -- feedback / reformulation ------------------------------------------
 
@@ -681,8 +944,8 @@ class QueryService:
                 {
                     "rank": rank,
                     "id": node_id,
-                    "label": runtime.dataset.data_graph.node(node_id).label,
-                    "caption": _caption(runtime.dataset, node_id),
+                    "label": _label(runtime.data_graph, node_id),
+                    "caption": _caption(runtime.data_graph, node_id),
                     "score": score,
                 }
                 for rank, (node_id, score) in enumerate(rerun.top, start=1)
@@ -772,9 +1035,23 @@ class QueryService:
 _EMPTY_SCORES = np.zeros(0)
 
 
-def _caption(dataset: Dataset, node_id: str) -> str:
+def _label(data_graph: DataGraph, node_id: str) -> str | None:
+    """The node's label, or ``None`` for ids this process's graph predates.
+
+    A cluster worker serving a builder-published store generation can rank
+    nodes that ingest added after the worker loaded its dataset — payloads
+    degrade to id-only entries for those instead of failing the request.
+    """
+    if not data_graph.has_node(node_id):
+        return None
+    return data_graph.node(node_id).label
+
+
+def _caption(data_graph: DataGraph, node_id: str) -> str:
     """A short human-readable label for a node (mirrors the CLI's)."""
-    node = dataset.data_graph.node(node_id)
+    if not data_graph.has_node(node_id):
+        return node_id
+    node = data_graph.node(node_id)
     name = (
         node.attributes.get("title")
         or node.attributes.get("name")
@@ -799,7 +1076,7 @@ def _top_k(
     index_of = {node_id: i for i, node_id in enumerate(ranked.node_ids)}
     top: list[tuple[str, float]] = []
     for node_id in ranked.ranking():
-        if runtime.dataset.data_graph.node(node_id).label in wanted:
+        if _label(runtime.data_graph, node_id) in wanted:
             top.append((node_id, float(ranked.scores[index_of[node_id]])))
             if len(top) == k:
                 break

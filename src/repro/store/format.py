@@ -99,6 +99,7 @@ def write_score_store(
         "num_nodes": num_nodes,
         "edge_types": [str(edge_type) for edge_type in snapshot.edge_types()],
         "build_iterations": ranker.build_iterations,
+        "graph_version": ranker.graph_version,
     }
     return write_slab(
         path,
@@ -149,6 +150,9 @@ class ScoreStore:
         self.generation: int = int(meta["generation"])
         self.damping: float = float(meta["damping"])
         self.build_iterations: int = int(meta.get("build_iterations", 0))
+        # Stores written before graph versioning carry no counter; 0 matches
+        # an unmutated graph's version, so old stores read as fresh.
+        self.graph_version: int = int(meta.get("graph_version", 0))
         self.edge_types: list[str] = list(meta["edge_types"])
         self.scores: np.ndarray = self._slab.array("scores")
         self.idf: np.ndarray = self._slab.array("idf")

@@ -264,9 +264,18 @@ class StoreManager:
     # -- write side ----------------------------------------------------------
 
     def publish(
-        self, ranker: PrecomputedRanker, dataset: str, keep: int = 2
+        self, ranker: PrecomputedRanker, dataset: str, keep: int = 2,
+        fsync: bool = True,
     ) -> Manifest:
-        """Build-and-publish the next generation, then pick it up locally."""
-        manifest = build_and_publish(self.root, ranker, dataset, keep=keep)
+        """Build-and-publish the next generation, then pick it up locally.
+
+        ``fsync=False`` skips durability barriers — high-frequency ingest
+        republishing (and benchmarks) can trade crash-durability of the
+        newest generation for publish latency; the atomic-rename swap
+        protocol itself does not depend on fsync for reader consistency.
+        """
+        manifest = build_and_publish(
+            self.root, ranker, dataset, keep=keep, fsync=fsync
+        )
         self.refresh(force=True)
         return manifest

@@ -54,6 +54,14 @@ class MmapScoreRanker:
     def build_iterations(self) -> int:
         return self.store.build_iterations
 
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self.store.node_ids)
+
+    @property
+    def graph_version(self) -> int:
+        return self.store.graph_version
+
     def has_keyword(self, keyword: str) -> bool:
         return self.store.has_keyword(keyword)
 
@@ -72,9 +80,25 @@ class MmapScoreRanker:
         )
         return cached / total
 
-    def is_stale(self, rates: AuthorityTransferSchemaGraph) -> bool:
-        """Whether the serving rates no longer match the store's snapshot."""
-        return not self.store.matches_rates(rates)
+    def is_stale(
+        self,
+        rates: AuthorityTransferSchemaGraph,
+        graph_version: int | None = None,
+    ) -> bool:
+        """Whether the serving rates (or, when given, the graph) moved on.
+
+        The graph check is opt-in: a cluster worker has no local mutation
+        counter to compare against (mutations happen on the builder side and
+        arrive as whole generations), so only a caller that *knows* the
+        current data-graph version — the ingest-enabled builder — passes
+        one.
+        """
+        if not self.store.matches_rates(rates):
+            return True
+        return (
+            graph_version is not None
+            and graph_version != self.store.graph_version
+        )
 
     def rank(self, query_vector: QueryVector) -> RankedResult:
         """Blend stored vectors for the query's cached keywords.

@@ -1,0 +1,1 @@
+"""Tests for repro.ingest: mutations, dirty tracking, incremental refresh."""

@@ -1,0 +1,111 @@
+"""Unit tests for the typed mutation records and their JSON wire format."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import (
+    AddEdge,
+    AddNode,
+    RemoveEdge,
+    RemoveNode,
+    UpdateNode,
+    mutation_from_json,
+)
+
+
+class TestParsing:
+    def test_add_node(self):
+        mutation = mutation_from_json(
+            {
+                "op": "add_node",
+                "node_id": "p1",
+                "label": "Paper",
+                "attributes": {"title": "OLAP cubes"},
+            }
+        )
+        assert mutation == AddNode("p1", "Paper", {"title": "OLAP cubes"})
+
+    def test_add_node_attributes_default_empty(self):
+        mutation = mutation_from_json(
+            {"op": "add_node", "node_id": "p1", "label": "Paper"}
+        )
+        assert mutation == AddNode("p1", "Paper", {})
+
+    def test_remove_node(self):
+        assert mutation_from_json(
+            {"op": "remove_node", "node_id": "p1"}
+        ) == RemoveNode("p1")
+
+    def test_add_edge_with_role(self):
+        assert mutation_from_json(
+            {"op": "add_edge", "source": "p1", "target": "p2", "role": "cites"}
+        ) == AddEdge("p1", "p2", "cites")
+
+    def test_add_edge_role_optional(self):
+        assert mutation_from_json(
+            {"op": "add_edge", "source": "p1", "target": "p2"}
+        ) == AddEdge("p1", "p2", None)
+
+    def test_remove_edge(self):
+        assert mutation_from_json(
+            {"op": "remove_edge", "source": "p1", "target": "p2"}
+        ) == RemoveEdge("p1", "p2", None)
+
+    def test_update_node(self):
+        assert mutation_from_json(
+            {"op": "update_node", "node_id": "p1", "attributes": {"title": "x"}}
+        ) == UpdateNode("p1", {"title": "x"})
+
+
+class TestRejection:
+    def test_unknown_op(self):
+        with pytest.raises(IngestError, match="unknown mutation op"):
+            mutation_from_json({"op": "truncate_graph"})
+
+    def test_missing_op(self):
+        with pytest.raises(IngestError, match="unknown mutation op"):
+            mutation_from_json({"node_id": "p1"})
+
+    def test_non_dict_payload(self):
+        with pytest.raises(IngestError, match="must be an object"):
+            mutation_from_json(["add_node", "p1"])
+
+    def test_missing_required_field(self):
+        with pytest.raises(IngestError, match="'node_id'"):
+            mutation_from_json({"op": "remove_node"})
+
+    def test_empty_string_field(self):
+        with pytest.raises(IngestError, match="'source'"):
+            mutation_from_json({"op": "add_edge", "source": "", "target": "p2"})
+
+    def test_non_string_role(self):
+        with pytest.raises(IngestError, match="'role'"):
+            mutation_from_json(
+                {"op": "add_edge", "source": "p1", "target": "p2", "role": 3}
+            )
+
+    def test_non_string_attributes(self):
+        with pytest.raises(IngestError, match="'attributes'"):
+            mutation_from_json(
+                {"op": "update_node", "node_id": "p1", "attributes": {"year": 2008}}
+            )
+
+
+class TestDescribe:
+    def test_every_mutation_echoes_its_op(self):
+        mutations = [
+            AddNode("p1", "Paper"),
+            RemoveNode("p1"),
+            AddEdge("p1", "p2", "cites"),
+            RemoveEdge("p1", "p2"),
+            UpdateNode("p1", {"title": "x"}),
+        ]
+        for mutation in mutations:
+            echo = mutation.describe()
+            assert echo["op"] == mutation.op
+
+    def test_round_trip_through_wire_format(self):
+        wire = {"op": "add_edge", "source": "a", "target": "b", "role": "cites"}
+        assert mutation_from_json(mutation_from_json(wire).describe()) == AddEdge(
+            "a", "b", "cites"
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for dirty-keyword accounting across mutation batches."""
+
+from repro.ingest import DirtyKeywordTracker
+
+
+class TestAccumulation:
+    def test_starts_clean(self):
+        tracker = DirtyKeywordTracker()
+        assert tracker.pending == 0
+        assert tracker.dirty_keywords == frozenset()
+        assert not tracker.topology_dirty
+
+    def test_content_mutations_accumulate_keywords(self):
+        tracker = DirtyKeywordTracker()
+        tracker.note_content({"olap", "cube"})
+        tracker.note_content({"cube", "xml"})
+        assert tracker.dirty_keywords == {"olap", "cube", "xml"}
+        assert tracker.pending == 2
+        assert not tracker.topology_dirty
+
+    def test_topology_mutation_sets_flag(self):
+        tracker = DirtyKeywordTracker()
+        tracker.note_topology()
+        assert tracker.topology_dirty
+        assert tracker.pending == 1
+
+    def test_empty_content_diff_still_counts_pending(self):
+        # A tf-only rewrite dirties no keyword but is still a pending
+        # mutation the staleness bound must see.
+        tracker = DirtyKeywordTracker()
+        tracker.note_content(set())
+        assert tracker.pending == 1
+        assert tracker.dirty_keywords == frozenset()
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_reports_frozen_state(self):
+        tracker = DirtyKeywordTracker()
+        tracker.note_content({"olap"})
+        tracker.note_topology()
+        dirty, topology, pending = tracker.snapshot()
+        assert dirty == {"olap"}
+        assert topology
+        assert pending == 2
+
+    def test_clear_resets_everything(self):
+        tracker = DirtyKeywordTracker()
+        tracker.note_content({"olap"})
+        tracker.note_topology()
+        tracker.clear()
+        assert tracker.snapshot() == (frozenset(), False, 0)
+
+    def test_merge_restores_failed_refresh_dirt(self):
+        # The engine snapshots + clears before a build; a failed build
+        # merges the dirt back so no invalidation is ever lost.
+        tracker = DirtyKeywordTracker()
+        tracker.note_content({"olap"})
+        dirty, topology, pending = tracker.snapshot()
+        tracker.clear()
+        tracker.note_content({"xml"})  # lands during the failed build
+        tracker.merge(dirty, topology, pending)
+        assert tracker.dirty_keywords == {"olap", "xml"}
+        assert tracker.pending == 2
+        assert not tracker.topology_dirty
+
+    def test_merge_preserves_topology_flag_from_either_side(self):
+        tracker = DirtyKeywordTracker()
+        tracker.note_topology()
+        dirty, topology, pending = tracker.snapshot()
+        tracker.clear()
+        tracker.merge(dirty, topology, pending)
+        assert tracker.topology_dirty

@@ -89,6 +89,38 @@ class TestMutation:
         assert index.term_frequency("totally", "d1") == 1
         assert index.num_documents == 3
 
+    def test_remove_then_readd_same_doc_id(self, index):
+        # The ingest remove→add cycle: stats must match a never-removed
+        # index, with no residue from the removed incarnation.
+        index.remove_document("d2")
+        index.add_document("d2", "olap olap indexing")
+        assert index.num_documents == 3
+        assert index.document_frequency("olap") == 2
+        assert index.term_frequency("olap", "d2") == 2
+        assert index.terms_of_document("d2") == {"olap": 2, "indexing": 1}
+        assert index.documents_with_term("indexing") == ["d2"]
+        expected = (
+            len("olap cube aggregation")
+            + len("olap olap indexing")
+            + len("xml query processing")
+        ) / 3
+        assert index.average_document_length == pytest.approx(expected)
+
+    def test_remove_then_readd_with_new_text(self, index):
+        index.remove_document("d3")
+        index.add_document("d3", "stream sketches")
+        assert index.document_frequency("xml") == 0
+        assert index.document_frequency("stream") == 1
+        assert "d3" in index.documents_with_term("sketches")
+
+    def test_copy_preserves_orders_and_isolates(self, index):
+        clone = index.copy()
+        assert list(clone.vocabulary()) == list(index.vocabulary())
+        clone.add_document("d4", "brand new words")
+        assert index.num_documents == 3
+        assert clone.num_documents == 4
+        assert index.document_frequency("brand") == 0
+
 
 class TestFromGraph:
     def test_indexes_node_text(self):

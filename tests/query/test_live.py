@@ -50,6 +50,79 @@ class TestMutation:
         with pytest.raises(ConformanceError):
             engine.search("OLAP")
 
+    def test_update_node_reindexes_document(self, engine):
+        from repro.errors import EmptyBaseSetError
+
+        engine.update_node("v7", {"title": "Incremental Sketches"})
+        assert engine.search("sketches").top[0][0] == "v7"
+        # v7 was the only object containing "cube"; after the rewrite the
+        # term matches nothing — the old posting must be gone, not stale.
+        with pytest.raises(EmptyBaseSetError):
+            engine.search("cube")
+
+    def test_remove_node_forgets_object_and_edges(self, engine):
+        before = engine.search("OLAP", top_k=8)
+        assert "v7" in [node_id for node_id, _ in before.top]
+        engine.remove_node("v7")
+        after = engine.search("OLAP", top_k=8)
+        assert "v7" not in [node_id for node_id, _ in after.top]
+        assert after.ranked.node_ids == [
+            node_id for node_id in before.ranked.node_ids if node_id != "v7"
+        ]
+
+    def test_remove_edge_changes_ranking_inputs(self, engine):
+        data_edges = engine.data_graph.num_edges
+        transfer_before = engine.graph.num_edges
+        engine.remove_edge("v1", "v7", "cites")
+        assert engine.data_graph.num_edges == data_edges - 1
+        # One data edge materializes a forward and a backward transfer edge.
+        assert engine.graph.num_edges == transfer_before - 2
+
+
+class TestPendingUpdateAccounting:
+    def test_every_successful_mutation_counts_once(self, engine):
+        engine.add_node("p_new", "Paper", {"title": "OLAP once more"})
+        engine.add_edge("p_new", "v7", "cites")
+        engine.update_node("p_new", {"title": "OLAP twice more"})
+        engine.remove_edge("p_new", "v7", "cites")
+        engine.remove_node("p_new")
+        assert engine.pending_updates == 5
+
+    def test_failed_add_edge_does_not_drift_counter(self, engine):
+        with pytest.raises(UnknownNodeError):
+            engine.add_edge("ghost", "v7", "cites")
+        assert engine.pending_updates == 0
+
+    def test_failed_remove_node_does_not_drift_counter(self, engine):
+        with pytest.raises(UnknownNodeError):
+            engine.remove_node("ghost")
+        assert engine.pending_updates == 0
+        # The index must still know every original document.
+        assert engine.search("OLAP").top
+
+    def test_failed_remove_edge_does_not_drift_counter(self, engine):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            engine.remove_edge("v1", "v7", "no-such-role")
+        assert engine.pending_updates == 0
+
+    def test_failed_update_does_not_touch_index(self, engine):
+        from repro.errors import EmptyBaseSetError
+
+        with pytest.raises(UnknownNodeError):
+            engine.update_node("ghost", {"title": "phantom sketches"})
+        assert engine.pending_updates == 0
+        with pytest.raises(EmptyBaseSetError):
+            engine.search("phantom")
+
+    def test_counter_resets_only_on_rebuild(self, engine):
+        engine.add_node("p_new", "Paper", {"title": "OLAP anew"})
+        engine.remove_node("p_new")
+        assert engine.pending_updates == 2
+        _ = engine.graph
+        assert engine.pending_updates == 0
+
 
 class TestWarmStartAcrossUpdates:
     def test_carry_over_preserves_surviving_scores(self, engine):
@@ -57,10 +130,14 @@ class TestWarmStartAcrossUpdates:
         engine.add_node("p_new", "Paper", {"title": "Fresh OLAP work"})
         carried = engine.carry_over_scores(first)
         graph = engine.graph
+        # Carried mass is renormalized to a distribution; surviving nodes
+        # keep their score up to the common scale, new nodes get the
+        # uniform prior up to the same scale.
+        assert carried.sum() == pytest.approx(1.0)
         v7 = graph.index_of("v7")
-        assert carried[v7] == pytest.approx(first.ranked.score_of("v7"))
         fresh = graph.index_of("p_new")
-        assert carried[fresh] == pytest.approx(1.0 / graph.num_nodes)
+        expected_ratio = first.ranked.score_of("v7") / (1.0 / graph.num_nodes)
+        assert carried[v7] / carried[fresh] == pytest.approx(expected_ratio)
 
     def test_carry_over_none_without_previous(self, engine):
         assert engine.carry_over_scores(None) is None

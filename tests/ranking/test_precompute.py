@@ -185,3 +185,42 @@ class TestStaleness:
 
     def test_equal_rates_not_stale(self, ranker):
         assert not ranker.is_stale(dblp_transfer_schema())
+
+    def test_graph_mutation_detected(self):
+        # Regression: is_stale() once fingerprinted only the transfer rates,
+        # so a ranker built before a graph mutation kept serving scores for
+        # a topology that no longer existed.
+        from repro.datasets.figure1 import figure1_dataset
+        from repro.graph import AuthorityTransferDataGraph
+        from repro.ir import InvertedIndex
+
+        dataset = figure1_dataset()
+        graph = AuthorityTransferDataGraph(
+            dataset.data_graph, dataset.transfer_schema
+        )
+        ranker = PrecomputedRanker(
+            graph, InvertedIndex.from_graph(dataset.data_graph),
+            min_document_frequency=1,
+        )
+        assert not ranker.is_stale()
+        dataset.data_graph.add_node(
+            "p_new", "Paper", {"title": "A fresh OLAP paper"}
+        )
+        assert ranker.is_stale()
+        assert ranker.is_stale(dblp_transfer_schema())
+
+    def test_explicit_graph_version_comparison(self):
+        from repro.datasets.figure1 import figure1_dataset
+        from repro.graph import AuthorityTransferDataGraph
+        from repro.ir import InvertedIndex
+
+        dataset = figure1_dataset()
+        graph = AuthorityTransferDataGraph(
+            dataset.data_graph, dataset.transfer_schema
+        )
+        ranker = PrecomputedRanker(
+            graph, InvertedIndex.from_graph(dataset.data_graph),
+            min_document_frequency=1,
+        )
+        assert not ranker.is_stale(graph_version=ranker.graph_version)
+        assert ranker.is_stale(graph_version=ranker.graph_version + 1)

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.explain",
     "repro.feedback",
     "repro.graph",
+    "repro.ingest",
     "repro.ir",
     "repro.query",
     "repro.ranking",
