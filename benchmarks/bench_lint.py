@@ -91,6 +91,8 @@ def run_benchmark() -> str:
             (code, time.perf_counter() - started, len(only.findings))
         )
 
+    phases = _phase_breakdown(src)
+
     lines = [
         f"repro lint over src/ — {report.files_scanned} files, "
         f"{len(report.checker_codes)} checkers (best of {REPEATS})",
@@ -102,8 +104,11 @@ def run_benchmark() -> str:
         f"  baselined            : {len(report.baselined):5d}",
         f"  pragma-suppressed    : {len(report.suppressed):5d}",
         f"  parse errors         : {len(report.parse_errors):5d}",
-        "  per-checker (full pass incl. parse):",
+        "  per-phase:",
     ]
+    for label, seconds in phases:
+        lines.append(f"    {label:<22}: {seconds * 1000:7.1f} ms")
+    lines.append("  per-checker (full pass incl. parse & project build):")
     for code, seconds, raw_findings in per_checker:
         lines.append(
             f"    {code}: {seconds * 1000:7.1f} ms   "
@@ -112,8 +117,45 @@ def run_benchmark() -> str:
     return "\n".join(lines)
 
 
+def _phase_breakdown(src: Path) -> list[tuple[str, float]]:
+    """Where a full serial run spends its time, one level deeper than the
+    report's ``phase_seconds``: the project-build phase is split into
+    parse + call-graph construction vs the summary fixpoint."""
+    from repro.analysis.callgraph import Project
+    from repro.analysis.runner import discover_files
+
+    baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    report = run_lint([src], baseline=baseline, root=REPO_ROOT)
+
+    files = [
+        (str(path), path.relative_to(REPO_ROOT).as_posix())
+        for path in discover_files([src])
+    ]
+    started = time.perf_counter()
+    project = Project.from_paths(files)
+    graph_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    project.summaries()
+    summary_seconds = time.perf_counter() - started
+
+    return [
+        ("per-file checkers", report.phase_seconds.get("files", 0.0)),
+        ("parse + call graph", graph_seconds),
+        ("function summaries", summary_seconds),
+        ("project checkers", report.phase_seconds.get("project-check", 0.0)),
+    ]
+
+
 def run_smoke() -> str:
-    """One serial + one parallel pass; assert identical and within budget."""
+    """One serial + one parallel pass; assert byte-identical, within budget.
+
+    The identity check renders both reports to SARIF (the format CI
+    uploads, and the only one carrying no wall-clock timings) and compares
+    the strings — covering the summary-dependent RL010–RL013 results and
+    their ``codeFlows``, not just the finding lists.
+    """
+    from repro.analysis import render
+
     baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
     src = REPO_ROOT / "src"
     started = time.perf_counter()
@@ -121,11 +163,14 @@ def run_smoke() -> str:
     parallel = run_lint([src], baseline=baseline, root=REPO_ROOT, jobs=JOBS)
     elapsed = time.perf_counter() - started
     assert _same_report(serial, parallel), "parallel lint diverged from serial"
+    assert render(serial, "sarif") == render(parallel, "sarif"), (
+        "parallel SARIF log is not byte-identical to serial"
+    )
     assert elapsed < 2 * BUDGET_SECONDS, f"smoke pass took {elapsed:.1f}s"
     return (
         f"lint smoke OK: {serial.files_scanned} files, "
-        f"{len(serial.findings)} new finding(s), serial == --jobs {JOBS}, "
-        f"{elapsed:.2f}s total"
+        f"{len(serial.findings)} new finding(s), serial == --jobs {JOBS} "
+        f"byte-identical, {elapsed:.2f}s total"
     )
 
 

@@ -17,6 +17,10 @@ Layers:
 * :mod:`repro.analysis.dataflow` — the worklist fixpoint solver plus the
   reaching-definitions / live-variables reference instances;
 * :mod:`repro.analysis.lockset` — the must-held-lockset analysis RL007 runs;
+* :mod:`repro.analysis.callgraph` — the module-resolution project call
+  graph (PR 8) behind the interprocedural checkers RL010–RL013;
+* :mod:`repro.analysis.summaries` — bottom-up SCC-ordered function
+  summaries (locks, blocking, resources, exceptions, cache-key tags);
 * :mod:`repro.analysis.pragmas` — ``# repro-lint: ignore[RL001]`` inline
   suppressions;
 * :mod:`repro.analysis.baseline` — the ``.repro-lint-baseline.json``
@@ -29,10 +33,24 @@ Layers:
 
 from repro.analysis.base import (
     Checker,
+    ProjectChecker,
     SourceFile,
     all_checkers,
+    call_chain_metadata,
     checker_codes,
     register,
+)
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    Project,
+    build_call_graph,
+)
+from repro.analysis.summaries import (
+    FunctionSummary,
+    SummaryIndex,
+    compute_summaries,
 )
 from repro.analysis.cfg import (
     BasicBlock,
@@ -64,10 +82,20 @@ from repro.analysis.runner import LintReport, discover_files, lint_source, run_l
 
 __all__ = [
     "Checker",
+    "ProjectChecker",
     "SourceFile",
     "all_checkers",
+    "call_chain_metadata",
     "checker_codes",
     "register",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "Project",
+    "build_call_graph",
+    "FunctionSummary",
+    "SummaryIndex",
+    "compute_summaries",
     "BasicBlock",
     "ControlFlowGraph",
     "Edge",

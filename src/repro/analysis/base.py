@@ -98,6 +98,62 @@ class Checker:
         )
 
 
+class ProjectChecker(Checker):
+    """Base class for interprocedural rules needing whole-project context.
+
+    The runner collects every parseable file first, builds one
+    :class:`~repro.analysis.callgraph.Project` (call graph + function
+    summaries) and then calls :meth:`check_project` once — always in the
+    main process, after the per-file phase, so ``--jobs`` stays
+    byte-identical.  :meth:`Checker.check` is a no-op so a project checker
+    accidentally run per-file yields nothing rather than crashing.
+    """
+
+    #: Lets the runner split the registry without isinstance gymnastics
+    #: across pickled worker boundaries.
+    interprocedural: bool = True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over a :class:`~repro.analysis.callgraph.Project`."""
+        raise NotImplementedError
+
+    def finding_in(
+        self,
+        project,
+        function_info,
+        node: ast.AST,
+        message: str,
+        suggestion: str = "",
+        metadata: dict | None = None,
+    ) -> Finding:
+        """A finding anchored at ``node`` inside ``function_info``'s module."""
+        return self.finding(
+            function_info.source, node, message, suggestion, metadata
+        )
+
+
+def call_chain_metadata(project, chain) -> list:
+    """Render a summary witness chain for finding metadata / SARIF codeFlows.
+
+    ``chain`` is a tuple of ``(function_id, line)`` steps, outermost caller
+    first; each becomes ``{"function", "file", "line"}``.
+    """
+    rendered = []
+    for function_id, line in chain:
+        info = project.graph.functions.get(function_id)
+        rendered.append(
+            {
+                "function": function_id,
+                "file": info.source.path if info is not None else "",
+                "line": line,
+            }
+        )
+    return rendered
+
+
 _REGISTRY: dict[str, Type[Checker]] = {}
 
 

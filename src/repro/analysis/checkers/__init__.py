@@ -1,4 +1,4 @@
-"""Built-in checkers; importing this package registers RL001–RL009.
+"""Built-in checkers; importing this package registers RL001–RL013.
 
 ============ ========================== =====================================
 Code         Name                       Hazard class
@@ -22,31 +22,52 @@ Code         Name                       Hazard class
                                         no iteration cap on any path
 ``RL009``    use-after-invalidate       cached attribute read on a path after
                                         ``None``/clear with no rebuild
+``RL010``    resource-lifecycle         file/mmap/socket acquired on a path
+                                        that can exit without release
+``RL011``    interprocedural-lock-order deadlock cycles, self-deadlock
+                                        re-acquisition and unheld ``*_locked``
+                                        helpers across call chains
+``RL012``    cache-key-fencing          serve-tier cache key missing the rate
+                                        fingerprint or ingest-epoch component
+``RL013``    blocking-under-lock        I/O, subprocess, sleep or fixpoint
+                                        solve reachable while a lock is held
 ============ ========================== =====================================
 
 RL001–RL006 are per-node AST visitors; RL007–RL009 are flow-sensitive — they
 consume the per-function CFGs of :mod:`repro.analysis.cfg` through the
-fixpoint solver of :mod:`repro.analysis.dataflow`.
+fixpoint solver of :mod:`repro.analysis.dataflow`.  RL010–RL013 are
+*interprocedural* (:class:`~repro.analysis.base.ProjectChecker`) — the
+runner builds one :class:`~repro.analysis.callgraph.Project` (call graph +
+bottom-up :mod:`~repro.analysis.summaries`) and runs them once over the
+whole file set, serially, after the per-file phase.
 """
 
+from repro.analysis.checkers.blocking_under_lock import BlockingUnderLockChecker
+from repro.analysis.checkers.cache_key_fencing import CacheKeyFencingChecker
 from repro.analysis.checkers.cache_latch import CacheLatchChecker
 from repro.analysis.checkers.duplicate_index import DuplicateIndexWriteChecker
 from repro.analysis.checkers.fixpoint_loops import FixpointLoopChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.interprocedural_locks import InterproceduralLockChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
 from repro.analysis.checkers.lockset_discipline import LocksetDisciplineChecker
 from repro.analysis.checkers.param_mutation import ParamMutationChecker
 from repro.analysis.checkers.rate_invariants import RateInvariantChecker
+from repro.analysis.checkers.resource_lifecycle import ResourceLifecycleChecker
 from repro.analysis.checkers.use_after_invalidate import UseAfterInvalidateChecker
 
 __all__ = [
+    "BlockingUnderLockChecker",
+    "CacheKeyFencingChecker",
     "CacheLatchChecker",
     "DuplicateIndexWriteChecker",
     "FixpointLoopChecker",
     "FloatEqualityChecker",
+    "InterproceduralLockChecker",
     "LockDisciplineChecker",
     "LocksetDisciplineChecker",
     "ParamMutationChecker",
     "RateInvariantChecker",
+    "ResourceLifecycleChecker",
     "UseAfterInvalidateChecker",
 ]

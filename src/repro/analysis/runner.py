@@ -34,6 +34,10 @@ class LintReport:
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     checker_codes: list[str] = field(default_factory=list)
+    #: Wall time per phase: ``files`` (per-file checkers, parallelizable),
+    #: ``project-build`` (parse-all + call graph + summaries) and
+    #: ``project-check`` (interprocedural checkers) when any ran.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -116,6 +120,7 @@ def run_lint(
     baseline: Baseline | None = None,
     root: str | Path | None = None,
     jobs: int | None = None,
+    scope: set[str] | None = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) and return the full report.
 
@@ -129,9 +134,31 @@ def run_lint(
     serial run); ``None``/``0``/``1`` stay in-process.  The parallel path
     rebuilds checkers from the registry by code, so explicitly passed
     *unregistered* checker instances fall back to serial.
+
+    Interprocedural checkers (:class:`~repro.analysis.base.ProjectChecker`)
+    run in a second phase, always serially in this process: every parseable
+    file is parsed into one :class:`~repro.analysis.callgraph.Project`,
+    summaries are computed bottom-up, then each project checker runs once.
+    Because that phase never fans out, serial and ``--jobs N`` reports stay
+    byte-identical.
+
+    ``scope`` (display names, as findings carry them) restricts which files
+    are *linted and reported* — ``repro lint --changed`` uses it — while the
+    project phase still parses everything, so summaries of unchanged
+    helpers stay visible to the checkers.
     """
     started = time.perf_counter()
     active = checkers if checkers is not None else all_checkers()
+    file_checkers = [
+        checker
+        for checker in active
+        if not getattr(checker, "interprocedural", False)
+    ]
+    project_checkers = [
+        checker
+        for checker in active
+        if getattr(checker, "interprocedural", False)
+    ]
     accepted = baseline if baseline is not None else Baseline()
     report = LintReport(checker_codes=[checker.code for checker in active])
 
@@ -140,24 +167,87 @@ def run_lint(
         (file_path, _display_name(file_path, root_path))
         for file_path in discover_files(paths)
     ]
+    scoped = (
+        files
+        if scope is None
+        else [(path, display) for path, display in files if display in scope]
+    )
 
-    for display, kept, suppressed, error in _file_results(files, active, jobs):
+    def keep(finding: Finding) -> None:
+        if accepted.contains(finding):
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+
+    phase_started = time.perf_counter()
+    for display, kept, suppressed, error in _file_results(
+        scoped, file_checkers, jobs
+    ):
         if error is not None:
             report.parse_errors.append((display, error))
             continue
         report.files_scanned += 1
         report.suppressed.extend(suppressed)
         for finding in kept:
-            if accepted.contains(finding):
-                report.baselined.append(finding)
-            else:
-                report.findings.append(finding)
+            keep(finding)
+    report.phase_seconds["files"] = time.perf_counter() - phase_started
+
+    if project_checkers:
+        _run_project_phase(
+            report, files, scope, project_checkers, keep
+        )
 
     report.findings.sort()
     report.baselined.sort()
     report.suppressed.sort()
     report.elapsed_seconds = time.perf_counter() - started
     return report
+
+
+def _run_project_phase(
+    report: LintReport,
+    files: list[tuple[Path, str]],
+    scope: set[str] | None,
+    project_checkers: list[Checker],
+    keep,
+) -> None:
+    """Build the whole-program context and run the interprocedural checkers.
+
+    Pragmas and the baseline apply exactly as in the per-file phase;
+    findings outside ``scope`` are dropped (their files were not asked
+    about), and files whose first lines carry ``skip-file`` contribute no
+    findings (their *definitions* still feed the call graph — a skip-file
+    pragma silences findings in that file, it does not falsify summaries).
+    """
+    from repro.analysis.callgraph import Project
+
+    phase_started = time.perf_counter()
+    project = Project.from_paths(
+        [(str(path), display) for path, display in files]
+    )
+    summaries = project.summaries()  # noqa: F841  (forces the build here)
+    report.phase_seconds["project-build"] = (
+        time.perf_counter() - phase_started
+    )
+
+    phase_started = time.perf_counter()
+    pragma_index: dict[str, object] = {}
+    for source in project.sources:
+        pragma_index[source.path] = parse_pragmas(source.lines)
+    for checker in project_checkers:
+        for finding in checker.check_project(project):
+            if scope is not None and finding.file not in scope:
+                continue
+            pragmas = pragma_index.get(finding.file)
+            if pragmas is not None and pragmas.suppresses(
+                finding.line, finding.code
+            ):
+                report.suppressed.append(finding)
+            else:
+                keep(finding)
+    report.phase_seconds["project-check"] = (
+        time.perf_counter() - phase_started
+    )
 
 
 def _file_results(

@@ -23,10 +23,11 @@ equivalent surface.  Subcommands:
   (``repro.ingest``); ``--store DIR`` publishes the refreshed matrix as the
   next store generation, ``--compare-full`` verifies bit-identity against a
   from-scratch rebuild;
-* ``repro lint [paths...]`` — the project's invariant linter (RL001–RL009:
-  six AST rules plus the flow-sensitive RL007–RL009, see ``repro.analysis``)
-  with text/JSON/GitHub/SARIF output, ``--jobs N`` process-pool parallelism
-  and baseline support.
+* ``repro lint [paths...]`` — the project's invariant linter (RL001–RL013:
+  six AST rules, the flow-sensitive RL007–RL009 and the interprocedural
+  RL010–RL013 over the project call graph, see ``repro.analysis``) with
+  text/JSON/GitHub/SARIF output, ``--jobs N`` process-pool parallelism,
+  ``--changed`` git-scoped runs and baseline support.
 
 All subcommands accept ``--scale`` and ``--seed`` for the dataset generator
 and ``--top-k`` for the result-list length.
@@ -368,7 +369,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
     jobs = args.jobs
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    report = run_lint(args.paths, checkers=checkers, baseline=baseline, jobs=jobs)
+    scope = None
+    if args.changed:
+        scope = _changed_python_files()
+        if scope is None:
+            print(
+                "repro lint: --changed needs a git checkout; "
+                "linting everything",
+                file=sys.stderr,
+            )
+    report = run_lint(
+        args.paths, checkers=checkers, baseline=baseline, jobs=jobs,
+        scope=scope,
+    )
 
     if args.write_baseline:
         accepted = report.findings + report.baselined
@@ -381,6 +394,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     print(render(report, args.format))
     return 0 if report.clean else 1
+
+
+def _changed_python_files() -> set[str] | None:
+    """Cwd-relative names of ``.py`` files with uncommitted changes.
+
+    Asks ``git status --porcelain`` (worktree + index vs HEAD, renames
+    resolved to their new name) so a pre-commit ``repro lint --changed``
+    covers exactly what the commit would ship.  Returns ``None`` when git
+    is unavailable or the cwd is not inside a work tree — the caller falls
+    back to a full run rather than silently linting nothing.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        toplevel = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed: set[str] = set()
+    root = Path(toplevel)
+    cwd = Path.cwd().resolve()
+    for line in status.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:].strip().strip('"')
+        if " -> " in path:
+            path = path.split(" -> ", 1)[1]
+        if not path.endswith(".py"):
+            continue
+        try:
+            display = (root / path).resolve().relative_to(cwd).as_posix()
+        except ValueError:
+            continue  # changed file outside the directory being linted
+        changed.add(display)
+    return changed
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -785,7 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
     store_inspect.set_defaults(func=cmd_store_inspect)
 
     lint = sub.add_parser(
-        "lint", help="run the invariant checkers (RL001-RL009)"
+        "lint", help="run the invariant checkers (RL001-RL013)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
@@ -815,6 +870,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--select", nargs="*", default=None, metavar="CODE",
         help="run only these rule codes (default: all registered)",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="lint only files with uncommitted git changes (interprocedural "
+        "rules still see the whole project; outside a git checkout this "
+        "falls back to a full run)",
     )
     lint.set_defaults(func=cmd_lint)
     return parser

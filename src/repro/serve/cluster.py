@@ -144,10 +144,17 @@ class ClusterSupervisor:
             raise ReproError("cluster already started")
         self.run_dir.mkdir(parents=True, exist_ok=True)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
-        listener.listen(LISTEN_BACKLOG)
-        listener.set_inheritable(True)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(LISTEN_BACKLOG)
+            listener.set_inheritable(True)
+        except BaseException:
+            # bind() raising (EADDRINUSE, EACCES) must not leak the socket:
+            # a supervisor retrying start() would otherwise accumulate one
+            # dangling fd per attempt.
+            listener.close()
+            raise
         self._listener = listener
         if self._service is None:
             # Built and preloaded once, pre-fork: the graphs, indexes and

@@ -270,6 +270,11 @@ class DatasetRuntime:
             )
             if result.ranker is not None:
                 if self.store is not None:
+                    # The ingest lock is a coarse refresh serializer, not a
+                    # fast-path fence: request threads never take it, and
+                    # publishing inside it is what guarantees epoch N's slab
+                    # is on disk before epoch N is announced.
+                    # repro-lint: ignore[RL013] deliberate publish-in-refresh
                     self.store.publish(result.ranker, self.name)
                 else:
                     with self._precompute_lock:

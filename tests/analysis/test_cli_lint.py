@@ -94,3 +94,65 @@ class TestLintCommand:
             )
             == 0
         ), capsys.readouterr().out
+
+
+class TestChangedScope:
+    """``repro lint --changed``: git-scoped runs with a full-run fallback."""
+
+    @staticmethod
+    def _git(*args, cwd):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+             *args],
+            cwd=cwd, check=True, capture_output=True,
+        )
+
+    @pytest.fixture
+    def checkout(self, tmp_path):
+        (tmp_path / "clean.py").write_text("VALUE = 1\n")
+        (tmp_path / "dirty.py").write_text("VALUE = 2\n")
+        self._git("init", "-q", cwd=tmp_path)
+        self._git("add", ".", cwd=tmp_path)
+        self._git("commit", "-qm", "seed", cwd=tmp_path)
+        return tmp_path
+
+    def test_only_dirty_files_are_linted(self, checkout, monkeypatch, capsys):
+        (checkout / "dirty.py").write_text(
+            "def f(rates):\n    rates['x'] = 1.0\n    return rates\n"
+        )
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out
+        assert "1 file(s)" in out  # clean.py was skipped
+
+    def test_untracked_files_count_as_changed(
+        self, checkout, monkeypatch, capsys
+    ):
+        (checkout / "fresh.py").write_text(
+            "def f(rates):\n    rates['x'] = 1.0\n    return rates\n"
+        )
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_no_changes_means_an_empty_clean_run(
+        self, checkout, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 0
+        assert "0 file(s)" in capsys.readouterr().out
+
+    def test_outside_a_checkout_falls_back_to_a_full_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        (tmp_path / "a.py").write_text("VALUE = 1\n")
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+        monkeypatch.delenv("GIT_DIR", raising=False)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 0
+        captured = capsys.readouterr()
+        assert "--changed needs a git checkout" in captured.err
+        assert "1 file(s)" in captured.out  # full run, nothing skipped

@@ -169,7 +169,7 @@ class TestSarifReporter:
         driver = run["tool"]["driver"]
         assert driver["name"] == "repro-lint"
         codes = [rule["id"] for rule in driver["rules"]]
-        assert codes == [f"RL00{i}" for i in range(1, 10)]
+        assert codes == [f"RL{i:03d}" for i in range(1, 14)]
         assert all(rule["shortDescription"]["text"] for rule in driver["rules"])
 
     def test_results_carry_location_and_fingerprint(self, sarif):
@@ -257,12 +257,16 @@ class TestRepositorySelfLint:
         assert report.parse_errors == []
         assert report.findings == [], render(report, "text")
 
-    def test_src_is_clean_with_an_empty_baseline_and_all_nine_rules(self):
-        """The PR 5 self-lint gate: nothing hides behind the baseline."""
+    def test_src_is_clean_with_an_empty_baseline_and_all_rules(self):
+        """The self-lint gate: nothing hides behind the baseline — the
+        interprocedural RL010–RL013 included."""
         report = run_lint(
             [REPO_ROOT / "src"], baseline=Baseline(), root=REPO_ROOT
         )
-        assert len(report.checker_codes) == 9
+        assert len(report.checker_codes) == 13
+        assert {"RL010", "RL011", "RL012", "RL013"} <= set(
+            report.checker_codes
+        )
         assert report.findings == [], render(report, "text")
 
     def test_serve_package_is_clean_without_any_baseline(self):
@@ -305,3 +309,126 @@ class TestRepositorySelfLint:
         assert guarded.get("reformulations_applied") == "_rates_lock"
         assert guarded.get("_precomputed") == "_precompute_lock"
         assert guarded.get("_runtimes") == "_runtimes_lock"
+
+
+class TestProjectPhase:
+    """The interprocedural phase: cross-file context, scope, pragmas, jobs."""
+
+    @pytest.fixture
+    def project_tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "helper.py").write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def slow():\n"
+            "    time.sleep(0.1)\n"
+        )
+        (tmp_path / "pkg" / "locked.py").write_text(
+            "import threading\n"
+            "\n"
+            "from pkg.helper import slow\n"
+            "\n"
+            "\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._state_lock = threading.Lock()\n"
+            "        self._state = {}\n"
+            "\n"
+            "    def refresh(self):\n"
+            "        with self._state_lock:\n"
+            "            slow()\n"
+        )
+        return tmp_path
+
+    def test_cross_file_finding_with_call_chain(self, project_tree):
+        report = run_lint([project_tree / "pkg"], root=project_tree)
+        (finding,) = report.findings
+        assert finding.code == "RL013"
+        assert finding.file == "pkg/locked.py"
+        chain = finding.metadata["call_chain"]
+        assert [step["file"] for step in chain] == [
+            "pkg/locked.py",
+            "pkg/helper.py",
+        ]
+
+    def test_parallel_run_is_byte_identical_with_project_checkers(
+        self, project_tree
+    ):
+        serial = run_lint([project_tree / "pkg"], root=project_tree)
+        parallel = run_lint([project_tree / "pkg"], root=project_tree, jobs=2)
+        # SARIF carries no timings: the logs must agree byte for byte.
+        assert render(serial, "sarif") == render(parallel, "sarif")
+        serial_json = json.loads(render(serial, "json"))
+        parallel_json = json.loads(render(parallel, "json"))
+        serial_json.pop("elapsed_seconds")
+        parallel_json.pop("elapsed_seconds")
+        assert serial_json == parallel_json
+        assert [f.code for f in serial.findings] == ["RL013"]
+
+    def test_scope_keeps_cross_file_context(self, project_tree):
+        """Linting only locked.py still sees helper.py's blocking summary."""
+        report = run_lint(
+            [project_tree / "pkg"],
+            root=project_tree,
+            scope={"pkg/locked.py"},
+        )
+        assert [f.code for f in report.findings] == ["RL013"]
+        assert report.files_scanned == 1
+
+    def test_scope_drops_findings_in_unscoped_files(self, project_tree):
+        report = run_lint(
+            [project_tree / "pkg"],
+            root=project_tree,
+            scope={"pkg/helper.py"},
+        )
+        assert report.findings == []
+
+    def test_pragma_suppresses_a_project_finding(self, project_tree):
+        locked = project_tree / "pkg" / "locked.py"
+        text = locked.read_text().replace(
+            "            slow()",
+            "            # repro-lint: ignore[RL013] test fixture\n"
+            "            slow()",
+        )
+        locked.write_text(text)
+        report = run_lint([project_tree / "pkg"], root=project_tree)
+        assert report.findings == []
+        assert [f.code for f in report.suppressed] == ["RL013"]
+
+    def test_baseline_absorbs_project_findings(self, project_tree):
+        first = run_lint([project_tree / "pkg"], root=project_tree)
+        baseline = Baseline.from_findings(first.findings)
+        second = run_lint(
+            [project_tree / "pkg"], baseline=baseline, root=project_tree
+        )
+        assert second.findings == []
+        assert [f.code for f in second.baselined] == ["RL013"]
+        assert second.clean
+
+    def test_phase_timings_recorded(self, project_tree):
+        report = run_lint([project_tree / "pkg"], root=project_tree)
+        assert set(report.phase_seconds) == {
+            "files",
+            "project-build",
+            "project-check",
+        }
+        assert all(value >= 0 for value in report.phase_seconds.values())
+
+    def test_sarif_code_flows_from_the_call_chain(self, project_tree):
+        report = run_lint([project_tree / "pkg"], root=project_tree)
+        payload = json.loads(render(report, "sarif"))
+        (result,) = [
+            r for r in payload["runs"][0]["results"] if r["ruleId"] == "RL013"
+        ]
+        (flow,) = result["codeFlows"]
+        (thread_flow,) = flow["threadFlows"]
+        steps = thread_flow["locations"]
+        uris = [
+            step["location"]["physicalLocation"]["artifactLocation"]["uri"]
+            for step in steps
+        ]
+        assert uris == ["pkg/locked.py", "pkg/helper.py"]
+        assert all(step["location"]["message"]["text"] for step in steps)
+        # the chain was promoted out of properties: no duplication
+        assert "call_chain" not in result.get("properties", {})

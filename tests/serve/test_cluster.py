@@ -210,3 +210,58 @@ class TestInjectLabels:
         assert "# TYPE m counter" in first
         assert "# TYPE m counter" not in second
         assert 'm{w="1"} 2' in second
+
+
+class TestBindFailure:
+    """start() must not leak the listener socket when bind() fails."""
+
+    def test_failed_bind_closes_listener_and_allows_retry(
+        self, tmp_path, monkeypatch
+    ):
+        import socket as socket_mod
+
+        from repro.errors import ReproError
+        from repro.serve import cluster as cluster_mod
+
+        # Occupy a port so the supervisor's bind() raises EADDRINUSE.
+        blocker = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        _, busy_port = blocker.getsockname()
+
+        real_socket = socket_mod.socket
+        created: list = []
+
+        def recording_socket(*args, **kwargs):
+            sock = real_socket(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(cluster_mod.socket, "socket", recording_socket)
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                serve=ServeConfig(datasets=()),
+                port=busy_port,
+                workers=1,
+                run_dir=str(tmp_path),
+            )
+        )
+        try:
+            with pytest.raises(OSError):
+                supervisor.start()
+            assert created, "supervisor never created a listener socket"
+            assert all(sock.fileno() == -1 for sock in created), (
+                "bind() failure leaked an open listener fd"
+            )
+            # The supervisor is back in its pre-start state: address raises
+            # and a retry is allowed (it fails on the same busy port, but
+            # with a fresh socket rather than "cluster already started").
+            with pytest.raises(ReproError):
+                supervisor.address
+            with pytest.raises(OSError):
+                supervisor.start()
+            assert all(sock.fileno() == -1 for sock in created)
+        finally:
+            blocker.close()
+            for sock in created:
+                sock.close()
