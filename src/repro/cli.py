@@ -53,11 +53,20 @@ def _build_system(args: argparse.Namespace) -> tuple:
     from repro.datasets import load_dataset
 
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    system = ObjectRankSystem(
-        dataset.data_graph,
-        dataset.transfer_schema,
-        SystemConfig(top_k=args.top_k),
+    # Only `repro search` exposes retrieval-mode flags; the other commands
+    # sharing this builder default to full retrieval.
+    config = SystemConfig(
+        top_k=args.top_k,
+        retrieval_mode=getattr(args, "mode", "full").replace("-", "_"),
+        candidates=getattr(args, "candidates", 200),
+        fusion=getattr(args, "fusion", "weighted"),
+        fusion_weight=getattr(args, "fusion_weight", 1.0),
+        rerank_horizon=getattr(args, "horizon", 2),
+        rerank_expand_cap=getattr(args, "expand_cap", None),
+        rerank_node_budget=getattr(args, "node_budget", None),
+        rerank_max_horizon=getattr(args, "max_horizon", None),
     )
+    system = ObjectRankSystem(dataset.data_graph, dataset.transfer_schema, config)
     return dataset, system
 
 
@@ -93,9 +102,20 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 def cmd_search(args: argparse.Namespace) -> int:
     """The ``repro search`` subcommand."""
+    from repro.retrieval.engine import TwoStageSearchResult
+
     dataset, system = _build_system(args)
     result = system.query(" ".join(args.keywords))
     _print_results(dataset, result)
+    if isinstance(result, TwoStageSearchResult) and result.stages is not None:
+        stages = result.stages
+        print(
+            f"(two-stage: {stages.num_candidates} candidates -> "
+            f"{stages.subgraph_nodes} nodes/{stages.subgraph_edges} edges "
+            f"reranked, fusion={stages.fusion}; "
+            f"stage1 {stages.stage1_seconds * 1000:.1f} ms, "
+            f"stage2 {stages.stage2_seconds * 1000:.1f} ms)"
+        )
     return 0
 
 
@@ -469,6 +489,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ingest=args.ingest,
         ingest_staleness_bound=args.staleness_bound,
         ingest_refresh_mode=args.refresh_mode,
+        candidates=args.candidates,
+        fusion=args.fusion,
+        fusion_weight=args.fusion_weight,
+        rerank_horizon=args.rerank_horizon,
+        rerank_expand_cap=args.rerank_expand_cap,
+        rerank_node_budget=args.rerank_node_budget,
+        rerank_max_horizon=args.rerank_max_horizon,
     )
 
     if args.workers and args.workers > 1:
@@ -641,6 +668,43 @@ def build_parser() -> argparse.ArgumentParser:
     search = sub.add_parser("search", help="run an ObjectRank2 query")
     common(search)
     search.add_argument("keywords", nargs="+")
+    search.add_argument(
+        "--mode", choices=["full", "two-stage"], default="full",
+        help="full runs ObjectRank2 over the whole graph; two-stage runs "
+        "pruned BM25 candidate generation + focused authority reranking",
+    )
+    search.add_argument(
+        "--candidates", type=int, default=200, metavar="N",
+        help="with --mode two-stage: stage-1 candidate-set size",
+    )
+    search.add_argument(
+        "--fusion", choices=["weighted", "multiplicative", "rrf"],
+        default="weighted",
+        help="with --mode two-stage: IR/authority score fusion",
+    )
+    search.add_argument(
+        "--fusion-weight", type=float, default=1.0,
+        help="with --fusion weighted: authority share in [0, 1] "
+        "(1.0 = authority only)",
+    )
+    search.add_argument(
+        "--horizon", type=int, default=2,
+        help="with --mode two-stage: rerank neighborhood hops",
+    )
+    search.add_argument(
+        "--expand-cap", type=int, default=None, metavar="D",
+        help="with --mode two-stage: include but do not expand through "
+        "nodes with transfer-edge degree above D (None = expand all)",
+    )
+    search.add_argument(
+        "--node-budget", type=int, default=None, metavar="B",
+        help="with --mode two-stage: keep deepening past --horizon (up to "
+        "--max-horizon hops) while the neighborhood holds fewer than B nodes",
+    )
+    search.add_argument(
+        "--max-horizon", type=int, default=None,
+        help="with --mode two-stage: hop ceiling for --node-budget deepening",
+    )
     search.set_defaults(func=cmd_search)
 
     explain = sub.add_parser("explain", help="explain one result of a query")
@@ -796,6 +860,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh-mode", choices=["exact", "warm"], default="exact",
         help="with --ingest: dirty-column refresh mode (exact is "
         "bit-identical to a full rebuild; warm reuses previous fixpoints)",
+    )
+    serve.add_argument(
+        "--candidates", type=int, default=200, metavar="N",
+        help="mode=two_stage default: stage-1 candidate-set size",
+    )
+    serve.add_argument(
+        "--fusion", choices=["weighted", "multiplicative", "rrf"],
+        default="weighted",
+        help="mode=two_stage default: IR/authority score fusion",
+    )
+    serve.add_argument(
+        "--fusion-weight", type=float, default=1.0,
+        help="mode=two_stage default: authority share in [0, 1]",
+    )
+    serve.add_argument(
+        "--rerank-horizon", type=int, default=2,
+        help="mode=two_stage default: rerank neighborhood hops",
+    )
+    serve.add_argument(
+        "--rerank-expand-cap", type=int, default=None, metavar="D",
+        help="mode=two_stage default: include but do not expand through "
+        "nodes with transfer-edge degree above D",
+    )
+    serve.add_argument(
+        "--rerank-node-budget", type=int, default=None, metavar="B",
+        help="mode=two_stage default: deepen past the horizon (up to "
+        "--rerank-max-horizon) while the neighborhood has fewer than B nodes",
+    )
+    serve.add_argument(
+        "--rerank-max-horizon", type=int, default=None,
+        help="mode=two_stage default: hop ceiling for node-budget deepening",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -18,6 +18,8 @@ from repro.reformulate.structure import DEFAULT_ADJUSTMENT_FACTOR
 
 DEFAULT_RADIUS = 3  # L; "a relatively small L (e.g., L=3) is adequate" (Section 4)
 
+RETRIEVAL_MODES = ("full", "two_stage")
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -46,6 +48,27 @@ class SystemConfig:
     #: Threads for batched explaining-subgraph extraction (None = in-process);
     #: feedback rounds and ``explain_many`` batch their targets either way.
     explain_workers: int | None = None
+    #: "full" runs ObjectRank2 over the whole graph; "two_stage" runs pruned
+    #: BM25 candidate generation + focused authority reranking
+    #: (:mod:`repro.retrieval`), whose cost scales with the result page.
+    retrieval_mode: str = "full"
+    #: Two-stage stage-1 candidate-set size N.
+    candidates: int = 200
+    #: Two-stage fusion mode ("weighted", "multiplicative" or "rrf") and the
+    #: authority share of the weighted combination (1.0 = authority only).
+    fusion: str = "weighted"
+    fusion_weight: float = 1.0
+    #: Hops of neighborhood expanded around the candidates for reranking.
+    rerank_horizon: int = 2
+    #: Stop the rerank fixpoint once the top-k sequence is stable (None =
+    #: iterate to tolerance; required for exact focused equivalence).
+    rerank_early_k: int | None = None
+    #: Hub-expansion cap and adaptive-deepening budget of the rerank
+    #: neighborhood (see :func:`repro.ranking.focused.focused_neighborhood`);
+    #: ``None`` keeps the exact uncapped, fixed-horizon expansion.
+    rerank_expand_cap: int | None = None
+    rerank_node_budget: int | None = None
+    rerank_max_horizon: int | None = None
 
     @classmethod
     def content_only(cls, expansion_factor: float = 0.2, **overrides) -> "SystemConfig":

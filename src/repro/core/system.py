@@ -29,7 +29,7 @@ from repro.bench.timing import (
     IterationTiming,
     StageClock,
 )
-from repro.core.config import SystemConfig
+from repro.core.config import RETRIEVAL_MODES, SystemConfig
 from repro.errors import ReproError
 from repro.explain.adjustment import FlowExplanation, adjust_flows
 from repro.explain.batch import (
@@ -43,6 +43,7 @@ from repro.query.engine import SearchEngine, SearchResult
 from repro.query.query import KeywordQuery, QueryVector
 from repro.ranking.objectrank import global_objectrank
 from repro.reformulate.combined import ReformulatedQuery, Reformulator
+from repro.retrieval.engine import TwoStageEngine, TwoStageSearchResult
 
 
 @dataclass
@@ -71,6 +72,11 @@ class ObjectRankSystem:
         engine: SearchEngine | None = None,
     ) -> None:
         self.config = config or SystemConfig()
+        if self.config.retrieval_mode not in RETRIEVAL_MODES:
+            raise ReproError(
+                f"unknown retrieval mode: {self.config.retrieval_mode!r} "
+                f"(choose from {RETRIEVAL_MODES})"
+            )
         self.engine = engine or SearchEngine(
             data_graph,
             transfer_schema,
@@ -92,6 +98,7 @@ class ObjectRankSystem:
         self._iteration = 0
         self._explaining_iterations: list[int] = []
         self._global_scores: np.ndarray | None = None
+        self._two_stage: TwoStageEngine | None = None
 
     # -- querying ------------------------------------------------------------
 
@@ -137,18 +144,57 @@ class ObjectRankSystem:
         self._explaining_iterations = []
         return result
 
+    def _search(self, init: np.ndarray | None) -> SearchResult:
+        """One retrieval run under the session's configured mode.
+
+        Two-stage retrieval builds its own restart from the candidates'
+        focused subgraph, so the warm-start vector only applies to full runs.
+        """
+        if self.config.retrieval_mode == "two_stage":
+            return self.two_stage_engine.search(
+                self.current_vector,
+                top_k=self.config.top_k,
+                rates=self.current_rates,
+            )
+        return self.engine.search(
+            self.current_vector,
+            top_k=self.config.top_k,
+            rates=self.current_rates,
+            init=init,
+        )
+
+    @property
+    def two_stage_engine(self) -> TwoStageEngine:
+        """The session's two-stage engine (built lazily from the config)."""
+        if self._two_stage is None:
+            self._two_stage = TwoStageEngine(
+                self.engine,
+                candidates=self.config.candidates,
+                fusion=self.config.fusion,
+                fusion_weight=self.config.fusion_weight,
+                horizon=self.config.rerank_horizon,
+                early_k=self.config.rerank_early_k,
+                expand_cap=self.config.rerank_expand_cap,
+                node_budget=self.config.rerank_node_budget,
+                max_horizon=self.config.rerank_max_horizon,
+            )
+        return self._two_stage
+
+    def _explain_within(self) -> np.ndarray | None:
+        """Two-stage results explain within the candidate neighborhood only."""
+        if isinstance(self.last_result, TwoStageSearchResult):
+            stages = self.last_result.stages
+            if stages is not None:
+                return stages.neighborhood
+        return None
+
     def _run(self, label: str) -> SearchResult:
         if self.current_vector is None:
             raise ReproError("no query has been issued yet")
         clock = StageClock()
         init = self._warm_start()
         with clock.stage(STAGE_SEARCH):
-            result = self.engine.search(
-                self.current_vector,
-                top_k=self.config.top_k,
-                rates=self.current_rates,
-                init=init,
-            )
+            result = self._search(init)
         self.last_result = result
         self.timings.append(
             IterationTiming(
@@ -204,7 +250,11 @@ class ObjectRankSystem:
             raise ReproError("query before explaining a result")
         base_ids = list(self.last_result.ranked.base_weights)
         subgraph = build_explaining_subgraph(
-            self._session_graph(), base_ids, node_id, self.config.radius
+            self._session_graph(),
+            base_ids,
+            node_id,
+            self.config.radius,
+            within=self._explain_within(),
         )
         return adjust_flows(
             subgraph,
@@ -221,18 +271,43 @@ class ObjectRankSystem:
         if self.last_result is None:
             raise ReproError("query before explaining a result")
         base_ids = list(self.last_result.ranked.base_weights)
-        subgraphs = batched_build_explaining_subgraphs(
-            self._session_graph(),
+        subgraphs = self._build_subgraphs(
             base_ids,
             node_ids,
-            self.config.radius,
-            workers=workers if workers is not None else self.config.explain_workers,
+            workers if workers is not None else self.config.explain_workers,
         )
         return batched_adjust_flows(
             subgraphs,
             self.last_result.scores,
             self.config.damping,
             self.config.tolerance,
+        )
+
+    def _build_subgraphs(
+        self, base_ids: list[str], node_ids: list[str], workers: int | None
+    ):
+        """Explaining subgraphs for many targets, honoring two-stage scope.
+
+        A two-stage result's explanations are confined to the candidate
+        neighborhood; the restricted extraction runs per target (the batched
+        frontier engine has no node filter), which is fine because the
+        neighborhood keeps each subgraph small.
+        """
+        within = self._explain_within()
+        if within is not None:
+            graph = self._session_graph()
+            return [
+                build_explaining_subgraph(
+                    graph, base_ids, node_id, self.config.radius, within=within
+                )
+                for node_id in node_ids
+            ]
+        return batched_build_explaining_subgraphs(
+            self._session_graph(),
+            base_ids,
+            node_ids,
+            self.config.radius,
+            workers=workers,
         )
 
     # -- feedback loop ------------------------------------------------------------
@@ -250,18 +325,13 @@ class ObjectRankSystem:
         clock = StageClock()
         base_ids = list(self.last_result.ranked.base_weights)
         scores = self.last_result.scores
-        session_graph = self._session_graph()
 
         # One batched pass over all feedback objects: shared positive-rate
         # adjacency for the subgraphs, one multi-target fixpoint for the
         # adjustment — per object bit-identical to the serial loop.
         with clock.stage(STAGE_SUBGRAPH):
-            subgraphs = batched_build_explaining_subgraphs(
-                session_graph,
-                base_ids,
-                relevant_ids,
-                self.config.radius,
-                workers=self.config.explain_workers,
+            subgraphs = self._build_subgraphs(
+                base_ids, relevant_ids, self.config.explain_workers
             )
         with clock.stage(STAGE_ADJUST):
             explanations = batched_adjust_flows(
@@ -280,12 +350,7 @@ class ObjectRankSystem:
         self._iteration += 1
         init = self._warm_start()
         with clock.stage(STAGE_SEARCH):
-            result = self.engine.search(
-                self.current_vector,
-                top_k=self.config.top_k,
-                rates=self.current_rates,
-                init=init,
-            )
+            result = self._search(init)
         self.last_result = result
 
         timing = IterationTiming(

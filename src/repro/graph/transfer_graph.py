@@ -89,6 +89,7 @@ class AuthorityTransferDataGraph:
         self._matrix: sparse.csr_matrix | None = None
         self._out_index = _build_incidence(self.edge_source, self.num_nodes, self.num_edges)
         self._in_index = _build_incidence(self.edge_target, self.num_nodes, self.num_edges)
+        self._node_degrees: np.ndarray | None = None
         self._recompute_rates()
 
     # -- node id <-> dense index ------------------------------------------
@@ -161,6 +162,7 @@ class AuthorityTransferDataGraph:
         view._edge_out_degree = self._edge_out_degree
         view._out_index = self._out_index
         view._in_index = self._in_index
+        view._node_degrees = self._node_degrees
         view._transfer_schema = transfer_schema
         view.edge_rate = np.zeros(self.num_edges, dtype=np.float64)
         view._matrix = None
@@ -193,6 +195,33 @@ class AuthorityTransferDataGraph:
         start, end = self._in_index[0][index], self._in_index[0][index + 1]
         return self._in_index[1][start:end]
 
+    def out_edge_ids_many(self, indices: np.ndarray) -> np.ndarray:
+        """Ids of transfer edges leaving any of ``indices``, concatenated.
+
+        One vectorized CSR-row gather instead of a Python loop over
+        :meth:`out_edge_ids` — the workhorse of neighborhood expansion, whose
+        cost is proportional to the touched edges, not the graph.  Within each
+        node the edge ids keep their :meth:`out_edge_ids` order.
+        """
+        return _gather_rows(self._out_index, indices)
+
+    def in_edge_ids_many(self, indices: np.ndarray) -> np.ndarray:
+        """Ids of transfer edges entering any of ``indices``, concatenated."""
+        return _gather_rows(self._in_index, indices)
+
+    def node_degrees(self) -> np.ndarray:
+        """Transfer-edge degree per node index (computed once, then cached).
+
+        Every data-graph edge materializes a forward and a backward transfer
+        edge, so out-degree equals in-degree equals the node's incident data
+        edges — one array serves both directions.  Hub-capped neighborhood
+        expansion reads this to decide which frontier nodes to expand through.
+        """
+        if self._node_degrees is None:
+            offsets = self._out_index[0]
+            self._node_degrees = np.diff(offsets)
+        return self._node_degrees
+
     def edge_type_of(self, edge_id: int) -> EdgeType:
         return self.edge_types[self.edge_type_index[edge_id]]
 
@@ -201,6 +230,27 @@ class AuthorityTransferDataGraph:
             f"AuthorityTransferDataGraph(nodes={self.num_nodes}, "
             f"transfer_edges={self.num_edges})"
         )
+
+
+def _gather_rows(
+    incidence: tuple[np.ndarray, np.ndarray], indices: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR rows of ``incidence`` selected by ``indices``."""
+    indptr, order = incidence
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = indptr[indices]
+    lengths = indptr[indices + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Row-start offset of each output position: repeat(starts - cum, lengths)
+    # + arange recovers the classic vectorized multi-slice gather.
+    offsets = np.zeros(indices.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    positions = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+    return order[positions]
 
 
 def _build_incidence(

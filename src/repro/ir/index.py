@@ -37,6 +37,11 @@ class InvertedIndex:
         self._doc_terms: dict[str, dict[str, int]] = {}
         self._doc_length: dict[str, int] = {}
         self._total_length = 0
+        # Per-term impact-bound statistics: term -> (max tf, min dl) over the
+        # documents containing the term.  A present entry is always a valid
+        # bound; removals drop the entry and :meth:`term_bound` rebuilds it
+        # lazily from the postings list.
+        self._bounds: dict[str, tuple[int, int]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -66,14 +71,19 @@ class InvertedIndex:
         """Index one document.  Re-adding an id replaces the old content."""
         if doc_id in self._doc_length:
             self.remove_document(doc_id)
-        self._doc_length[doc_id] = len(text)
-        self._total_length += len(text)
+        dl = len(text)
+        self._doc_length[doc_id] = dl
+        self._total_length += dl
         terms: dict[str, int] = {}
         for term in self.analyzer.terms(text):
             postings = self._postings.setdefault(term, {})
             postings[doc_id] = postings.get(doc_id, 0) + 1
             terms[term] = terms.get(term, 0) + 1
         self._doc_terms[doc_id] = terms
+        for term, tf in terms.items():
+            bound = self._bounds.get(term)
+            if bound is not None:
+                self._bounds[term] = (max(bound[0], tf), min(bound[1], dl))
 
     def copy(self) -> "InvertedIndex":
         """An independent copy with identical statistics and term order.
@@ -91,6 +101,7 @@ class InvertedIndex:
         }
         clone._doc_length = dict(self._doc_length)
         clone._total_length = self._total_length
+        clone._bounds = dict(self._bounds)
         return clone
 
     def remove_document(self, doc_id: str) -> None:
@@ -103,6 +114,9 @@ class InvertedIndex:
             del postings[doc_id]
             if not postings:
                 del self._postings[term]
+            # The removed document may have carried the extreme statistic;
+            # drop the bound and let term_bound rebuild it on demand.
+            self._bounds.pop(term, None)
 
     # -- statistics ----------------------------------------------------------
 
@@ -139,6 +153,19 @@ class InvertedIndex:
     def documents_with_term(self, term: str) -> list[str]:
         return list(self._postings.get(term, ()))
 
+    def term_frequencies(self, term: str) -> list[int]:
+        """Term frequencies aligned with :meth:`documents_with_term` order.
+
+        Bulk accessor for vectorized scoring: both views iterate the same
+        postings dict, so ``zip(documents_with_term(t), term_frequencies(t))``
+        reconstructs the postings list without per-entry lookups.
+        """
+        return list(self._postings.get(term, {}).values())
+
+    def document_lengths(self, doc_ids: Iterable[str]) -> list[int]:
+        """Document lengths for ``doc_ids`` (0 for unknown documents)."""
+        return [self._doc_length.get(doc_id, 0) for doc_id in doc_ids]
+
     def documents_with_any(self, terms: Iterable[str]) -> list[str]:
         """Documents containing at least one of ``terms`` — the raw base set
         ``S(Q)`` of a keyword query, in deterministic first-hit order."""
@@ -150,6 +177,34 @@ class InvertedIndex:
 
     def vocabulary(self) -> list[str]:
         return list(self._postings)
+
+    # -- impact bounds -------------------------------------------------------
+
+    def term_bound(self, term: str) -> tuple[int, int] | None:
+        """``(max tf, min dl)`` over the documents containing ``term``.
+
+        These are the raw statistics from which any monotone scorer can derive
+        a per-term score upper bound (BM25 saturation grows with tf and shrinks
+        with dl), which is what makes WAND/max-score pruning safe.  Bounds are
+        maintained incrementally on :meth:`add_document`, invalidated on
+        :meth:`remove_document` and rebuilt here on demand.  Returns ``None``
+        for terms absent from the index.
+        """
+        postings = self._postings.get(term)
+        if not postings:
+            return None
+        bound = self._bounds.get(term)
+        if bound is None:
+            bound = (
+                max(postings.values()),
+                min(self._doc_length[doc_id] for doc_id in postings),
+            )
+            self._bounds[term] = bound
+        return bound
+
+    def term_bounds(self) -> dict[str, tuple[int, int]]:
+        """All per-term bounds, computing any missing ones (for persistence)."""
+        return {term: self.term_bound(term) for term in self._postings}
 
     def __contains__(self, term: str) -> bool:
         return term in self._postings

@@ -15,7 +15,10 @@ from pathlib import Path
 from repro.ir.index import InvertedIndex
 from repro.ir.tokenize import Analyzer
 
-_FORMAT_VERSION = 1
+#: Version 2 adds the per-term ``(max tf, min dl)`` impact bounds used by
+#: WAND pruning; version-1 files still load, with bounds rebuilt on demand.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_index(index: InvertedIndex, path: str | Path) -> None:
@@ -29,6 +32,9 @@ def save_index(index: InvertedIndex, path: str | Path) -> None:
             }
             for doc_id in _document_ids(index)
         },
+        "bounds": {
+            term: list(bound) for term, bound in index.term_bounds().items()
+        },
     }
     Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
@@ -38,10 +44,12 @@ def load_index(path: str | Path, analyzer: Analyzer | None = None) -> InvertedIn
 
     ``analyzer`` restores the analyzer configuration for *future*
     ``add_document`` calls; the stored term statistics are loaded verbatim.
+    Version-1 files carry no impact bounds — those indexes load fine and
+    :meth:`InvertedIndex.term_bound` rebuilds each bound on first use.
     """
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     version = payload.get("version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported index format version: {version!r}")
     index = InvertedIndex(analyzer) if analyzer is not None else InvertedIndex()
     for doc_id, entry in payload["documents"].items():
@@ -50,6 +58,9 @@ def load_index(path: str | Path, analyzer: Analyzer | None = None) -> InvertedIn
         index._total_length += int(entry["length"])
         for term, tf in entry["terms"].items():
             index._postings.setdefault(term, {})[doc_id] = int(tf)
+    for term, bound in payload.get("bounds", {}).items():
+        if term in index._postings:
+            index._bounds[term] = (int(bound[0]), int(bound[1]))
     return index
 
 

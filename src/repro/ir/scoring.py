@@ -31,6 +31,20 @@ class Scorer(Protocol):
         """``IRScore(v, Q)``: dot product of document and query vectors."""
         ...  # pragma: no cover - protocol
 
+    def max_weight(self, term: str) -> float:
+        """An upper bound on ``weight(doc, term)`` over every document.
+
+        Derived from the index's per-term ``(max tf, min dl)`` statistics —
+        the max-score bound that makes WAND pruning safe.
+        """
+        ...  # pragma: no cover - protocol
+
+    def term_upper_bound(self, term: str, raw_weight: float) -> float:
+        """Upper bound on the term's contribution to ``score`` for query
+        weight ``raw_weight`` (document-side bound times the scorer's
+        query-side factor)."""
+        ...  # pragma: no cover - protocol
+
 
 class BM25Scorer:
     """Okapi BM25 weighting, following Equation 3 of the paper.
@@ -84,11 +98,32 @@ class BM25Scorer:
         )
         return self.idf(term) * saturation
 
+    def max_weight(self, term: str) -> float:
+        """Upper-bounds :meth:`weight` over all documents containing ``term``.
+
+        BM25 saturation is monotone increasing in ``tf`` and decreasing in
+        ``dl``, so evaluating Equation 3 at ``(max tf, min dl)`` dominates
+        every posting.  The expression mirrors :meth:`weight` term for term so
+        the bound is exact (bit-identical) at the extreme document itself.
+        """
+        bound = self.index.term_bound(term)
+        if bound is None:
+            return 0.0
+        max_tf, min_dl = bound
+        avdl = self.index.average_document_length or 1.0
+        saturation = ((self.k1 + 1) * max_tf) / (
+            self.k1 * ((1 - self.b) + self.b * min_dl / avdl) + max_tf
+        )
+        return self.idf(term) * saturation
+
     def query_weight(self, raw_weight: float) -> float:
         """Query-side saturation ``(k3 + 1) qtf / (k3 + qtf)`` of Equation 3."""
         if raw_weight <= 0:
             return 0.0
         return ((self.k3 + 1) * raw_weight) / (self.k3 + raw_weight)
+
+    def term_upper_bound(self, term: str, raw_weight: float) -> float:
+        return self.max_weight(term) * self.query_weight(raw_weight)
 
     def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
         return sum(
@@ -111,6 +146,19 @@ class TfIdfScorer:
         df = self.index.document_frequency(term)
         return (1.0 + math.log(tf)) * math.log(1.0 + n / df)
 
+    def max_weight(self, term: str) -> float:
+        """Upper bound from max tf (tf-idf does not depend on ``dl``)."""
+        bound = self.index.term_bound(term)
+        if bound is None:
+            return 0.0
+        max_tf = bound[0]
+        n = self.index.num_documents
+        df = self.index.document_frequency(term)
+        return (1.0 + math.log(max_tf)) * math.log(1.0 + n / df)
+
+    def term_upper_bound(self, term: str, raw_weight: float) -> float:
+        return self.max_weight(term) * raw_weight if raw_weight > 0 else 0.0
+
     def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
         return sum(self.weight(doc_id, term) * qw for term, qw in query_weights.items())
 
@@ -128,6 +176,14 @@ class UniformScorer:
 
     def weight(self, doc_id: str, term: str) -> float:
         return 1.0 if self.index.term_frequency(term, doc_id) > 0 else 0.0
+
+    def max_weight(self, term: str) -> float:
+        return 1.0 if term in self.index else 0.0
+
+    def term_upper_bound(self, term: str, raw_weight: float) -> float:
+        # score is 0/1 ("any term matches"), so one matched term's bound of
+        # 1.0 already dominates the whole score.
+        return self.max_weight(term) if raw_weight > 0 else 0.0
 
     def score(self, doc_id: str, query_weights: Mapping[str, float]) -> float:
         return 1.0 if any(

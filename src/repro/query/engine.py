@@ -53,6 +53,30 @@ class SearchResult:
         return [node_id for node_id, _ in self.top]
 
 
+def select_top(
+    data_graph: DataGraph,
+    ranked: RankedResult,
+    top_k: int,
+    labels: tuple[str, ...] | None,
+) -> list[tuple[str, float]]:
+    """The top-``top_k`` hits of ``ranked``, optionally label-filtered.
+
+    With ``labels``, hits are restricted to nodes of the given types —
+    authority hubs of other types still influence scores but are not shown.
+    """
+    if labels is None:
+        return ranked.top_k(top_k)
+    wanted = set(labels)
+    index_of = {node_id: i for i, node_id in enumerate(ranked.node_ids)}
+    top: list[tuple[str, float]] = []
+    for node_id in ranked.ranking():
+        if data_graph.node(node_id).label in wanted:
+            top.append((node_id, float(ranked.scores[index_of[node_id]])))
+            if len(top) == top_k:
+                break
+    return top
+
+
 class _ViewBuild:
     """Latch for one in-flight ``with_rates`` build (``transfer_view``)."""
 
@@ -224,15 +248,5 @@ class SearchEngine:
             init,
         )
         elapsed = time.perf_counter() - start
-        if labels is None:
-            top = ranked.top_k(top_k)
-        else:
-            wanted = set(labels)
-            index_of = {node_id: i for i, node_id in enumerate(ranked.node_ids)}
-            top = []
-            for node_id in ranked.ranking():
-                if self.data_graph.node(node_id).label in wanted:
-                    top.append((node_id, float(ranked.scores[index_of[node_id]])))
-                    if len(top) == top_k:
-                        break
+        top = select_top(self.data_graph, ranked, top_k, labels)
         return SearchResult(vector, ranked, top, elapsed)

@@ -15,12 +15,82 @@ from __future__ import annotations
 
 import numpy as np
 
+from scipy import sparse
+
 from repro.graph.transfer_graph import AuthorityTransferDataGraph
 from repro.ir.scoring import Scorer
 from repro.query.query import QueryVector
-from repro.ranking.convergence import RankedResult
+from repro.ranking.convergence import PowerIterationResult, RankedResult
 from repro.ranking.objectrank2 import weighted_base_set
 from repro.ranking.pagerank import DEFAULT_DAMPING, DEFAULT_MAX_ITERATIONS
+
+
+def topk_power_iteration(
+    matrix: sparse.spmatrix,
+    restart: np.ndarray,
+    k: int,
+    damping: float = DEFAULT_DAMPING,
+    stable_iterations: int = 3,
+    residual_guard: float = 0.05,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    init: np.ndarray | None = None,
+) -> PowerIterationResult:
+    """Power iteration that stops once the top-``k`` id sequence is stable.
+
+    The matrix-agnostic core of :func:`objectrank2_topk`, reused by the
+    two-stage engine's rerank stage on induced submatrices.  ``converged``
+    means "top-k stable", not "residual below tolerance".
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if stable_iterations < 1:
+        raise ValueError(f"stable_iterations must be positive, got {stable_iterations}")
+
+    n = matrix.shape[0]
+    jump = (1.0 - damping) * restart
+    scores = (
+        np.full(n, 1.0 / max(n, 1))
+        if init is None
+        else np.asarray(init, dtype=np.float64).copy()
+    )
+
+    def top_ids(vector: np.ndarray) -> tuple[int, ...]:
+        head = min(k, len(vector))
+        if head == len(vector):
+            candidates = np.arange(len(vector))
+        else:
+            # argpartition is O(n); only the k candidates need full sorting.
+            candidates = np.argpartition(-vector, head - 1)[:head]
+        order = candidates[np.argsort(-vector[candidates], kind="stable")]
+        return tuple(int(i) for i in order)
+
+    previous_top: tuple[int, ...] | None = None
+    stable = 0
+    residuals: list[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_scores = damping * (matrix @ scores) + jump
+        residual = float(np.abs(new_scores - scores).sum())
+        residuals.append(residual)
+        scores = new_scores
+        if residual >= residual_guard:
+            # Stability cannot count yet; skip the top-k extraction entirely
+            # so the guard phase costs nothing beyond the matvec.
+            stable = 0
+            previous_top = None
+            continue
+        current_top = top_ids(scores)
+        if current_top == previous_top:
+            stable += 1
+            if stable >= stable_iterations:
+                converged = True
+                break
+        else:
+            stable = 0
+        previous_top = current_top
+
+    return PowerIterationResult(scores, iterations, converged, residuals)
 
 
 def objectrank2_topk(
@@ -40,59 +110,26 @@ def objectrank2_topk(
     scores are the (slightly unconverged) iterates, which is fine for
     ranking but not for flow explanation — explain with exact scores.
     """
-    if k < 1:
-        raise ValueError(f"k must be positive, got {k}")
-    if stable_iterations < 1:
-        raise ValueError(f"stable_iterations must be positive, got {stable_iterations}")
-
     base = weighted_base_set(scorer, query_vector)
     restart = np.zeros(graph.num_nodes)
     for node_id, weight in base.items():
         restart[graph.index_of(node_id)] = weight
 
-    matrix = graph.matrix()
-    jump = (1.0 - damping) * restart
-    scores = (
-        np.full(graph.num_nodes, 1.0 / max(graph.num_nodes, 1))
-        if init is None
-        else np.asarray(init, dtype=np.float64).copy()
+    outcome = topk_power_iteration(
+        graph.matrix(),
+        restart,
+        k,
+        damping,
+        stable_iterations,
+        residual_guard,
+        max_iterations,
+        init,
     )
-
-    def top_ids(vector: np.ndarray) -> tuple[int, ...]:
-        head = min(k, len(vector))
-        if head == len(vector):
-            candidates = np.arange(len(vector))
-        else:
-            # argpartition is O(n); only the k candidates need full sorting.
-            candidates = np.argpartition(-vector, head - 1)[:head]
-        order = candidates[np.argsort(-vector[candidates], kind="stable")]
-        return tuple(int(i) for i in order)
-
-    previous_top = top_ids(scores)
-    stable = 0
-    residuals: list[float] = []
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        new_scores = damping * (matrix @ scores) + jump
-        residual = float(np.abs(new_scores - scores).sum())
-        residuals.append(residual)
-        scores = new_scores
-        current_top = top_ids(scores)
-        if current_top == previous_top and residual < residual_guard:
-            stable += 1
-            if stable >= stable_iterations:
-                converged = True
-                break
-        else:
-            stable = 0
-        previous_top = current_top
-
     return RankedResult(
         node_ids=graph.node_ids,
-        scores=scores,
-        iterations=iterations,
-        converged=converged,
+        scores=outcome.scores,
+        iterations=outcome.iterations,
+        converged=outcome.converged,
         base_weights=base,
-        residuals=residuals,
+        residuals=outcome.residuals,
     )

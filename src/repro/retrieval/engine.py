@@ -1,0 +1,275 @@
+"""Stage 1 + stage 2 assembled: the two-stage retrieval engine.
+
+Full ObjectRank2 pays a power iteration over the whole corpus for every
+query, even though the user sees one page of results.  The two-stage engine
+makes the per-query cost scale with that page instead:
+
+1. **Candidate generation** — pruned top-N IR retrieval
+   (:func:`repro.retrieval.wand.pruned_top_n`): exact BM25 top N, touching
+   only postings whose impact bound can reach the running threshold.
+2. **Authority reranking** — the focused-subgraph ObjectRank2 fixpoint
+   (:func:`repro.ranking.focused.induced_objectrank`) on the candidates'
+   ``horizon``-hop neighborhood, restarted from the candidates' normalized
+   IR scores; then pluggable fusion (:mod:`repro.retrieval.fusion`) of the
+   IR and authority signals.
+
+Degenerate configurations collapse *bit-identically* onto existing paths —
+``candidates >= |S(Q)|`` with authority-only fusion is exactly
+:func:`repro.ranking.focused.focused_objectrank2` — because both run the
+same induced-subgraph core on the same restart vector.  The property tests
+pin this, which is what makes the fast path trustworthy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.authority import AuthorityTransferSchemaGraph
+from repro.graph.transfer_graph import AuthorityTransferDataGraph
+from repro.ir.scoring import Scorer
+from repro.query.engine import SearchEngine, SearchResult, select_top
+from repro.query.query import KeywordQuery, QueryVector
+from repro.ranking.convergence import RankedResult
+from repro.ranking.focused import focused_neighborhood, induced_objectrank
+from repro.ranking.pagerank import (
+    DEFAULT_DAMPING,
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+)
+from repro.retrieval.fusion import DEFAULT_RRF_K, FUSION_MODES, fuse_scores
+from repro.retrieval.wand import CandidateSet, pruned_top_n
+
+DEFAULT_CANDIDATES = 200
+DEFAULT_FUSION = "weighted"
+DEFAULT_RERANK_HORIZON = 2
+
+
+@dataclass
+class TwoStageResult:
+    """A two-stage ranking plus per-stage accounting."""
+
+    ranked: RankedResult
+    candidate_set: CandidateSet
+    #: Sorted node indices of the candidates' rerank neighborhood.
+    neighborhood: np.ndarray
+    subgraph_edges: int
+    horizon: int
+    fusion: str
+    fusion_weight: float
+    stage1_seconds: float
+    stage2_seconds: float
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidate_set.candidates)
+
+    @property
+    def subgraph_nodes(self) -> int:
+        return int(self.neighborhood.size)
+
+
+def restricted_base_set(
+    scorer: Scorer, query_vector: QueryVector, candidate_set: CandidateSet
+) -> dict[str, float]:
+    """Base-set weights over the candidates only, in ``S(Q)`` order.
+
+    Mirrors :func:`repro.ranking.objectrank2.weighted_base_set` operation for
+    operation — same document order (``documents_with_any``), same
+    minimum-positive floor for zero scores, same summation order — so that
+    when the candidates cover the whole base set the two are bit-identical.
+    The raw scores are the stage-1 candidates' scores, which equal
+    ``scorer.score`` floats exactly (the WAND invariant), so nothing is
+    re-scored here.
+    """
+    terms = [t for t in query_vector.terms if query_vector.weight(t) > 0]
+    scores = {c.doc_id: c.score for c in candidate_set.candidates}
+    order = scorer.index.documents_with_any(terms)
+    raw = {doc_id: scores[doc_id] for doc_id in order if doc_id in scores}
+    positive = [w for w in raw.values() if w > 0]
+    floor = min(positive) if positive else 1.0
+    adjusted = {doc_id: (w if w > 0 else floor) for doc_id, w in raw.items()}
+    total = sum(adjusted.values())
+    return {doc_id: w / total for doc_id, w in adjusted.items()}
+
+
+def two_stage_rank(
+    graph: AuthorityTransferDataGraph,
+    scorer: Scorer,
+    query_vector: QueryVector,
+    candidates: int = DEFAULT_CANDIDATES,
+    fusion: str = DEFAULT_FUSION,
+    fusion_weight: float = 1.0,
+    horizon: int = DEFAULT_RERANK_HORIZON,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    early_k: int | None = None,
+    stable_iterations: int = 3,
+    residual_guard: float = 0.05,
+    rrf_k: float = DEFAULT_RRF_K,
+    expand_cap: int | None = None,
+    node_budget: int | None = None,
+    max_horizon: int | None = None,
+) -> TwoStageResult:
+    """Rank ``query_vector`` with candidate generation + authority reranking.
+
+    With authority-only fusion (``weighted`` at weight 1.0) the returned
+    scores are the focused-subgraph authority scores over the whole rerank
+    neighborhood — the focused-ObjectRank2 shape.  With a genuinely mixed
+    fusion the scores are fused values over the candidates only (zeros
+    elsewhere): the result *is* the reranked page.  ``early_k`` stops the
+    rerank fixpoint once the top-``early_k`` sequence is stable instead of
+    iterating to tolerance.  ``expand_cap`` bounds hub expansion;
+    ``node_budget`` with ``max_horizon`` deepens the horizon adaptively for
+    small base sets (see :func:`repro.ranking.focused.focused_neighborhood`);
+    leave all three ``None`` for the exact focused semantics — the degenerate
+    bit-identity with focused ObjectRank2 assumes the uncapped, fixed-horizon
+    expansion.
+    """
+    if fusion not in FUSION_MODES:
+        raise ValueError(f"unknown fusion mode: {fusion!r} (choose from {FUSION_MODES})")
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+
+    start = time.perf_counter()
+    candidate_set = pruned_top_n(scorer, query_vector, candidates)
+    stage1_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    seeds = [graph.index_of(doc_id) for doc_id in candidate_set.doc_ids]
+    nodes = np.asarray(
+        focused_neighborhood(
+            graph,
+            seeds,
+            horizon,
+            expand_cap=expand_cap,
+            node_budget=node_budget,
+            max_horizon=max_horizon,
+        ),
+        dtype=np.int64,
+    )
+    base = restricted_base_set(scorer, query_vector, candidate_set)
+    run = induced_objectrank(
+        graph,
+        nodes,
+        base,
+        damping,
+        tolerance,
+        max_iterations,
+        early_k=early_k,
+        stable_iterations=stable_iterations,
+        residual_guard=residual_guard,
+    )
+    # repro-lint: ignore[RL005] exact endpoint check IS the degenerate config
+    authority_only = fusion == "weighted" and fusion_weight == 1.0
+    if authority_only:
+        scores = run.scores
+    else:
+        candidate_indices = np.asarray(seeds, dtype=np.int64)
+        ir_scores = np.asarray(
+            [c.score for c in candidate_set.candidates], dtype=np.float64
+        )
+        fused = fuse_scores(
+            fusion,
+            ir_scores,
+            run.scores[candidate_indices],
+            authority_weight=fusion_weight,
+            rrf_k=rrf_k,
+        )
+        scores = np.zeros(graph.num_nodes)
+        # repro-lint: ignore[RL001] candidate doc ids are unique by WAND merge
+        scores[candidate_indices] = fused
+    stage2_seconds = time.perf_counter() - start
+
+    ranked = RankedResult(
+        node_ids=graph.node_ids,
+        scores=scores,
+        iterations=run.outcome.iterations,
+        converged=run.outcome.converged,
+        base_weights=base,
+        residuals=run.outcome.residuals,
+    )
+    return TwoStageResult(
+        ranked=ranked,
+        candidate_set=candidate_set,
+        neighborhood=run.nodes,
+        subgraph_edges=run.edge_count,
+        horizon=horizon,
+        fusion=fusion,
+        fusion_weight=fusion_weight,
+        stage1_seconds=stage1_seconds,
+        stage2_seconds=stage2_seconds,
+    )
+
+
+@dataclass
+class TwoStageSearchResult(SearchResult):
+    """A :class:`SearchResult` that also carries the two-stage accounting."""
+
+    stages: TwoStageResult | None = None
+
+
+@dataclass
+class TwoStageEngine:
+    """Two-stage retrieval bound to a :class:`SearchEngine`'s dataset.
+
+    Mirrors :meth:`SearchEngine.search` (same query forms, per-call learned
+    rates via shared transfer views, label filtering) so callers can switch
+    retrieval modes without changing anything else.  The constructor fields
+    are per-engine defaults; every ``search`` call may override them.
+    """
+
+    engine: SearchEngine
+    candidates: int = DEFAULT_CANDIDATES
+    fusion: str = DEFAULT_FUSION
+    fusion_weight: float = 1.0
+    horizon: int = DEFAULT_RERANK_HORIZON
+    early_k: int | None = None
+    rrf_k: float = field(default=DEFAULT_RRF_K)
+    expand_cap: int | None = None
+    node_budget: int | None = None
+    max_horizon: int | None = None
+
+    def search(
+        self,
+        query: KeywordQuery | QueryVector | str,
+        top_k: int = 10,
+        rates: AuthorityTransferSchemaGraph | None = None,
+        labels: tuple[str, ...] | None = None,
+        candidates: int | None = None,
+        fusion: str | None = None,
+        fusion_weight: float | None = None,
+        horizon: int | None = None,
+        early_k: int | None = None,
+        expand_cap: int | None = None,
+        node_budget: int | None = None,
+        max_horizon: int | None = None,
+    ) -> TwoStageSearchResult:
+        vector = self.engine.query_vector(query)
+        graph = self.engine.transfer_view(rates)
+        start = time.perf_counter()
+        stages = two_stage_rank(
+            graph,
+            self.engine.scorer,
+            vector,
+            candidates=candidates if candidates is not None else self.candidates,
+            fusion=fusion if fusion is not None else self.fusion,
+            fusion_weight=(
+                fusion_weight if fusion_weight is not None else self.fusion_weight
+            ),
+            horizon=horizon if horizon is not None else self.horizon,
+            damping=self.engine.damping,
+            tolerance=self.engine.tolerance,
+            max_iterations=self.engine.max_iterations,
+            early_k=early_k if early_k is not None else self.early_k,
+            rrf_k=self.rrf_k,
+            expand_cap=expand_cap if expand_cap is not None else self.expand_cap,
+            node_budget=node_budget if node_budget is not None else self.node_budget,
+            max_horizon=max_horizon if max_horizon is not None else self.max_horizon,
+        )
+        elapsed = time.perf_counter() - start
+        top = select_top(self.engine.data_graph, stages.ranked, top_k, labels)
+        return TwoStageSearchResult(vector, stages.ranked, top, elapsed, stages=stages)

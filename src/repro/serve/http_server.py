@@ -4,11 +4,18 @@ Stdlib-only (``http.server``), one thread per connection via
 ``ThreadingHTTPServer``.  Endpoints:
 
 ========================  ======  ==============================================
-``/search``               GET     ``?dataset=&q=&top_k=&mode=&labels=``
+``/search``               GET     ``?dataset=&q=&top_k=&mode=&labels=`` plus
+                                  ``candidates=&fusion=&fusion_weight=&
+                                  horizon=&early_k=&expand_cap=&
+                                  node_budget=&max_horizon=`` under
+                                  ``mode=two_stage``
 ``/search``               POST    ``{"dataset", "query", "top_k", "mode",
-                                  "labels"}``
+                                  "labels", "candidates", "fusion",
+                                  "fusion_weight", "horizon", "early_k",
+                                  "expand_cap", "node_budget",
+                                  "max_horizon"}``
 ``/explain``              POST    ``{"dataset", "query", "target",
-                                  "max_edges"}``
+                                  "max_edges", "mode"}``
 ``/feedback/reformulate`` POST    ``{"dataset", "query", "relevant_ids",
                                   "apply"}``
 ``/ingest``               POST    ``{"dataset", "mutations": [...],
@@ -320,6 +327,14 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
             mode=one("mode", "auto"),
             labels=tuple(labels.split(",")) if labels else None,
             deadline=deadline,
+            candidates=_optional_int(one("candidates"), "candidates"),
+            fusion=one("fusion"),
+            fusion_weight=_optional_float(one("fusion_weight"), "fusion_weight"),
+            horizon=_optional_int(one("horizon"), "horizon", minimum=0),
+            early_k=_optional_int(one("early_k"), "early_k"),
+            expand_cap=_optional_int(one("expand_cap"), "expand_cap"),
+            node_budget=_optional_int(one("node_budget"), "node_budget"),
+            max_horizon=_optional_int(one("max_horizon"), "max_horizon"),
         )
 
     def _search_from_body(self, deadline: Deadline) -> dict:
@@ -338,6 +353,16 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
             mode=body.get("mode", "auto"),
             labels=tuple(labels) if labels else None,
             deadline=deadline,
+            candidates=_optional_int(body.get("candidates"), "candidates"),
+            fusion=body.get("fusion"),
+            fusion_weight=_optional_float(
+                body.get("fusion_weight"), "fusion_weight"
+            ),
+            horizon=_optional_int(body.get("horizon"), "horizon", minimum=0),
+            early_k=_optional_int(body.get("early_k"), "early_k"),
+            expand_cap=_optional_int(body.get("expand_cap"), "expand_cap"),
+            node_budget=_optional_int(body.get("node_budget"), "node_budget"),
+            max_horizon=_optional_int(body.get("max_horizon"), "max_horizon"),
         )
 
     def _explain_from_body(self, deadline: Deadline) -> dict:
@@ -355,6 +380,7 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
             target,
             max_edges=_optional_int(body.get("max_edges"), "max_edges") or 50,
             deadline=deadline,
+            mode=body.get("mode", "live"),
         )
 
     def _reformulate_from_body(self, deadline: Deadline) -> dict:
@@ -394,16 +420,25 @@ class _BadRequest(Exception):
     """Client-side input error, mapped to HTTP 400."""
 
 
-def _optional_int(raw, name: str) -> int | None:
+def _optional_int(raw, name: str, minimum: int = 1) -> int | None:
     if raw is None:
         return None
     try:
         value = int(raw)
     except (TypeError, ValueError):
         raise _BadRequest(f"'{name}' must be an integer, got {raw!r}") from None
-    if value <= 0:
-        raise _BadRequest(f"'{name}' must be positive, got {value}")
+    if value < minimum:
+        raise _BadRequest(f"'{name}' must be at least {minimum}, got {value}")
     return value
+
+
+def _optional_float(raw, name: str) -> float | None:
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise _BadRequest(f"'{name}' must be a number, got {raw!r}") from None
 
 
 def _query_from_json(query):

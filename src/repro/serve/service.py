@@ -34,6 +34,7 @@ from repro.explain.batch import (
     batched_adjust_flows,
     batched_build_explaining_subgraphs,
 )
+from repro.explain.subgraph import build_explaining_subgraph
 from repro.graph.authority import AuthorityTransferSchemaGraph
 from repro.graph.data_graph import DataGraph
 from repro.ingest.engine import IngestEngine
@@ -43,6 +44,8 @@ from repro.query.query import KeywordQuery, QueryVector
 from repro.ranking.convergence import RankedResult
 from repro.ranking.precompute import PrecomputedRanker
 from repro.reformulate.combined import Reformulator
+from repro.retrieval.engine import TwoStageEngine
+from repro.retrieval.fusion import FUSION_MODES
 from repro.serve.cache import (
     ResultCache,
     make_key,
@@ -53,7 +56,9 @@ from repro.serve.metrics import MetricsRegistry
 from repro.store.generations import StoreManager
 from repro.store.ranker import MmapScoreRanker
 
-SERVE_MODES = ("auto", "live", "precomputed")
+SERVE_MODES = ("auto", "live", "precomputed", "two_stage")
+
+EXPLAIN_MODES = ("live", "two_stage")
 
 
 class DeadlineExceededError(ReproError):
@@ -102,6 +107,21 @@ class ServeConfig:
     radius: int | None = DEFAULT_RADIUS
     cache_max_entries: int = 512
     cache_ttl_seconds: float | None = None
+    #: Two-stage retrieval defaults for ``mode=two_stage`` requests (each
+    #: overridable per request): stage-1 candidate-set size, fusion mode and
+    #: authority weight, rerank neighborhood horizon and the optional top-k
+    #: early exit of the rerank fixpoint (see :mod:`repro.retrieval`).
+    candidates: int = 200
+    fusion: str = "weighted"
+    fusion_weight: float = 1.0
+    rerank_horizon: int = 2
+    rerank_early_k: int | None = None
+    #: Hub-expansion cap and adaptive-deepening budget of the rerank
+    #: neighborhood (see :func:`repro.ranking.focused.focused_neighborhood`);
+    #: ``None`` keeps the exact uncapped, fixed-horizon expansion.
+    rerank_expand_cap: int | None = None
+    rerank_node_budget: int | None = None
+    rerank_max_horizon: int | None = None
     precompute: bool = True
     precompute_min_document_frequency: int = 2
     precompute_keywords: tuple[str, ...] | None = None
@@ -170,6 +190,7 @@ class DatasetRuntime:
         self.reformulations_applied = 0
         self._rates_lock = threading.Lock()
         self._precompute_lock = threading.Lock()
+        self._two_stage: TwoStageEngine | None = None
         self._precomputed: PrecomputedRanker | None = None
         self._precompute_built = False
         # Store-backed serving: the manager polls the dataset's CURRENT
@@ -293,6 +314,29 @@ class DatasetRuntime:
             "pending_consumed": result.pending_consumed,
             "elapsed_seconds": result.elapsed_seconds,
         }
+
+    @property
+    def two_stage(self) -> TwoStageEngine:
+        """The runtime's two-stage retrieval engine (config defaults).
+
+        Built lazily without a lock: construction is a cheap stateless
+        binding to the shared engine, so a racing duplicate is harmless.
+        The bound engine reference survives ingest adoptions (``adopt``
+        swaps the engine's internals, not the engine object).
+        """
+        if self._two_stage is None:
+            self._two_stage = TwoStageEngine(
+                self.engine,
+                candidates=self.config.candidates,
+                fusion=self.config.fusion,
+                fusion_weight=self.config.fusion_weight,
+                horizon=self.config.rerank_horizon,
+                early_k=self.config.rerank_early_k,
+                expand_cap=self.config.rerank_expand_cap,
+                node_budget=self.config.rerank_node_budget,
+                max_horizon=self.config.rerank_max_horizon,
+            )
+        return self._two_stage
 
     @property
     def rates(self) -> AuthorityTransferSchemaGraph:
@@ -447,6 +491,19 @@ class QueryService:
             "repro_served_store_total",
             "Search responses served zero-copy from the mmap score store",
         )
+        self._served_two_stage = m.counter(
+            "repro_served_two_stage_total",
+            "Search responses computed by two-stage retrieval",
+        )
+        # The registry has no label support, so the fusion-mode breakdown is
+        # one counter per mode, named like a labelled family would render.
+        self._fusion_served = {
+            fusion_mode: m.counter(
+                f"repro_two_stage_fusion_{fusion_mode}_total",
+                f"Two-stage responses fused with the {fusion_mode} mode",
+            )
+            for fusion_mode in FUSION_MODES
+        }
         self._invalidations = m.counter(
             "repro_cache_invalidations_total",
             "Cache entries dropped by reformulation-driven invalidation",
@@ -476,6 +533,18 @@ class QueryService:
         )
         self._search_latency = m.histogram(
             "repro_search_seconds", "Service latency of /search requests"
+        )
+        self._two_stage_candidates = m.histogram(
+            "repro_two_stage_candidates",
+            "Stage-1 candidate-set size per two-stage search",
+        )
+        self._stage1_latency = m.histogram(
+            "repro_two_stage_stage1_seconds",
+            "Stage-1 latency (pruned BM25 candidate generation)",
+        )
+        self._stage2_latency = m.histogram(
+            "repro_two_stage_stage2_seconds",
+            "Stage-2 latency (focused authority rerank + fusion)",
         )
 
     # -- dataset runtimes --------------------------------------------------
@@ -518,17 +587,91 @@ class QueryService:
         mode: str = "auto",
         labels: tuple[str, ...] | None = None,
         deadline: Deadline | None = None,
+        candidates: int | None = None,
+        fusion: str | None = None,
+        fusion_weight: float | None = None,
+        horizon: int | None = None,
+        early_k: int | None = None,
+        expand_cap: int | None = None,
+        node_budget: int | None = None,
+        max_horizon: int | None = None,
     ) -> dict:
         """Answer one search request, routed cache -> precomputed -> live.
 
         ``mode`` forces an execution path: ``"auto"`` (default) consults the
         cache and the precomputed ranker before falling back to live
         ObjectRank2; ``"precomputed"`` and ``"live"`` bypass the cache read
-        and force their path (useful for benchmarking and debugging).  All
-        modes still populate the cache.
+        and force their path (useful for benchmarking and debugging);
+        ``"two_stage"`` runs pruned candidate generation + focused authority
+        reranking (:mod:`repro.retrieval`), consulting the cache under a key
+        extended with the candidate/fusion parameters.  All modes still
+        populate the cache.  ``candidates``, ``fusion``, ``fusion_weight``,
+        ``horizon``, ``early_k``, ``expand_cap``, ``node_budget`` and
+        ``max_horizon`` override the configured two-stage defaults per
+        request and are rejected outside ``mode="two_stage"``.
         """
         if mode not in SERVE_MODES:
             raise ReproError(f"unknown mode {mode!r}; expected one of {SERVE_MODES}")
+        overrides = (
+            candidates, fusion, fusion_weight, horizon, early_k,
+            expand_cap, node_budget, max_horizon,
+        )
+        if mode != "two_stage" and any(value is not None for value in overrides):
+            raise ReproError(
+                "candidate/fusion parameters require mode='two_stage'"
+            )
+        two_stage: dict | None = None
+        if mode == "two_stage":
+            two_stage = {
+                "candidates": (
+                    candidates if candidates is not None else self.config.candidates
+                ),
+                "fusion": fusion if fusion is not None else self.config.fusion,
+                "fusion_weight": (
+                    fusion_weight
+                    if fusion_weight is not None
+                    else self.config.fusion_weight
+                ),
+                "horizon": horizon if horizon is not None else self.config.rerank_horizon,
+                "early_k": early_k if early_k is not None else self.config.rerank_early_k,
+                "expand_cap": (
+                    expand_cap
+                    if expand_cap is not None
+                    else self.config.rerank_expand_cap
+                ),
+                "node_budget": (
+                    node_budget
+                    if node_budget is not None
+                    else self.config.rerank_node_budget
+                ),
+                "max_horizon": (
+                    max_horizon
+                    if max_horizon is not None
+                    else self.config.rerank_max_horizon
+                ),
+            }
+            if two_stage["fusion"] not in FUSION_MODES:
+                raise ReproError(
+                    f"unknown fusion mode {two_stage['fusion']!r}; "
+                    f"expected one of {FUSION_MODES}"
+                )
+            if not 0.0 <= two_stage["fusion_weight"] <= 1.0:
+                raise ReproError(
+                    "fusion_weight must be in [0, 1], got "
+                    f"{two_stage['fusion_weight']}"
+                )
+            if two_stage["candidates"] < 1:
+                raise ReproError(
+                    f"candidates must be positive, got {two_stage['candidates']}"
+                )
+            if two_stage["horizon"] < 0:
+                raise ReproError(
+                    f"horizon must be non-negative, got {two_stage['horizon']}"
+                )
+            for name in ("expand_cap", "node_budget", "max_horizon"):
+                value = two_stage[name]
+                if value is not None and value < 1:
+                    raise ReproError(f"{name} must be positive, got {value}")
         start = time.perf_counter()
         self._requests.inc()
         runtime = self.runtime(dataset)
@@ -549,6 +692,11 @@ class QueryService:
             ranker = runtime.precomputed_ranker()
         generation = runtime.store_generation()
         key = make_key(dataset, vector, rates, k) + ((labels,) if labels else ())
+        if two_stage is not None:
+            # Two-stage answers depend on every candidate/fusion parameter,
+            # so the key carries them all — a different candidate budget or
+            # fusion must never be answered from another cohort's entry.
+            key += (("two_stage", tuple(sorted(two_stage.items()))),)
         if generation is not None:
             key += (("gen", generation),)
         staleness = None
@@ -559,7 +707,7 @@ class QueryService:
             staleness = runtime.staleness_info()
             key += (("epoch", staleness["epoch"]),)
 
-        if mode == "auto":
+        if mode in ("auto", "two_stage"):
             cached = self.cache.get(key)
             if cached is not None:
                 self._cache_hits.inc()
@@ -595,7 +743,24 @@ class QueryService:
                     # auto: fall through to live, which may still match
                     # (or raise the same error, mapped to an empty payload).
 
-        if served_from == "live":
+        stages = None
+        if two_stage is not None:
+            served_from = "two_stage"
+            try:
+                result = runtime.two_stage.search(
+                    vector, top_k=k, rates=rates, labels=labels, **two_stage
+                )
+                ranked, top, stages = result.ranked, result.top, result.stages
+            except EmptyBaseSetError:
+                ranked, top = RankedResult([], _EMPTY_SCORES, 0, True), []
+            self._served_two_stage.inc()
+            self._or_iterations.inc(ranked.iterations)
+            if stages is not None:
+                self._two_stage_candidates.observe(stages.num_candidates)
+                self._stage1_latency.observe(stages.stage1_seconds)
+                self._stage2_latency.observe(stages.stage2_seconds)
+                self._fusion_served[stages.fusion].inc()
+        elif served_from == "live":
             try:
                 result = runtime.engine.search(
                     vector, top_k=k, rates=rates, labels=labels
@@ -632,6 +797,21 @@ class QueryService:
         }
         if generation is not None:
             payload["store_generation"] = generation
+        if stages is not None:
+            payload["two_stage"] = {
+                "requested_candidates": two_stage["candidates"],
+                "candidates": stages.num_candidates,
+                "fusion": stages.fusion,
+                "fusion_weight": stages.fusion_weight,
+                "horizon": stages.horizon,
+                "expand_cap": two_stage["expand_cap"],
+                "node_budget": two_stage["node_budget"],
+                "max_horizon": two_stage["max_horizon"],
+                "subgraph_nodes": stages.subgraph_nodes,
+                "subgraph_edges": stages.subgraph_edges,
+                "stage1_seconds": stages.stage1_seconds,
+                "stage2_seconds": stages.stage2_seconds,
+            }
         # A forced-precomputed request the ranker could not answer yields an
         # empty payload that auto traffic would answer live — never cache it.
         unanswerable = served_from in ("precomputed", "store") and not ranked.node_ids
@@ -667,6 +847,7 @@ class QueryService:
         target: str,
         max_edges: int = 50,
         deadline: Deadline | None = None,
+        mode: str = "live",
     ) -> dict:
         """Explain why ``target`` ranks for ``query``: adjusted flow edges.
 
@@ -681,7 +862,17 @@ class QueryService:
         positive-rate adjacency, and runs the Section 4 flow-adjustment
         fixpoint.  The full sorted edge list is cached; ``max_edges`` only
         trims the response.
+
+        ``mode="two_stage"`` explains a *two-stage* result instead: the
+        scores come from the configured two-stage retrieval and the
+        explaining subgraph is restricted to the candidates' rerank
+        neighborhood — flow a two-stage score never saw cannot appear in
+        its explanation.
         """
+        if mode not in EXPLAIN_MODES:
+            raise ReproError(
+                f"unknown mode {mode!r}; expected one of {EXPLAIN_MODES}"
+            )
         start = time.perf_counter()
         self._requests.inc()
         runtime = self.runtime(dataset)
@@ -695,6 +886,19 @@ class QueryService:
             target,
             self.config.radius,
         )
+        if mode == "two_stage":
+            # Two-stage explanations are a separate cohort: same query, same
+            # rates, different scores and a restricted subgraph.
+            key += (
+                (
+                    "two_stage",
+                    self.config.candidates,
+                    self.config.fusion,
+                    self.config.fusion_weight,
+                    self.config.rerank_horizon,
+                    self.config.rerank_early_k,
+                ),
+            )
         if runtime.ingest is not None:
             # Same epoch cohorting as the result cache: an explanation's
             # subgraph references topology, so it must never outlive the
@@ -708,16 +912,34 @@ class QueryService:
 
         if deadline is not None:
             deadline.check("explanation")
-        result = runtime.engine.search(vector, top_k=self.config.default_top_k, rates=rates)
+        if mode == "two_stage":
+            result = runtime.two_stage.search(
+                vector, top_k=self.config.default_top_k, rates=rates
+            )
+        else:
+            result = runtime.engine.search(
+                vector, top_k=self.config.default_top_k, rates=rates
+            )
         self._or_iterations.inc(result.iterations)
         graph = runtime.engine.transfer_view(rates)
         graph.index_of(target)  # raises UnknownNodeError early
-        explanation = batched_adjust_flows(
-            batched_build_explaining_subgraphs(
-                graph, list(result.ranked.base_weights), [target], self.config.radius
-            ),
-            result.ranked.scores,
-        )[0]
+        base_ids = list(result.ranked.base_weights)
+        within = None
+        if mode == "two_stage" and result.stages is not None:
+            within = result.stages.neighborhood
+        if within is not None:
+            # Restricted extraction runs serially (the batched engine has no
+            # node filter); the neighborhood keeps the subgraph small.
+            subgraphs = [
+                build_explaining_subgraph(
+                    graph, base_ids, target, self.config.radius, within=within
+                )
+            ]
+        else:
+            subgraphs = batched_build_explaining_subgraphs(
+                graph, base_ids, [target], self.config.radius
+            )
+        explanation = batched_adjust_flows(subgraphs, result.ranked.scores)[0]
         subgraph = explanation.subgraph
         edges = sorted(
             explanation.edge_flow_items(), key=lambda item: item[2], reverse=True
@@ -726,6 +948,7 @@ class QueryService:
             "dataset": dataset,
             "query": dict(vector.weights),
             "target": target,
+            "mode": mode,
             "target_caption": _caption(runtime.data_graph, target),
             "target_inflow": explanation.target_inflow(),
             "adjustment_iterations": explanation.iterations,

@@ -336,6 +336,24 @@ class TestRL012CacheKeyFencing:
             """,
         ) == []
 
+    def test_two_stage_params_do_not_satisfy_the_epoch_fence(self):
+        """Candidate/fusion cohorting is orthogonal to the ingest fence."""
+        findings = one_module(
+            "RL012",
+            self.FENCED
+            % 'key += (("two_stage", ("candidates", "fusion")),)',
+        )
+        assert codes_of(findings) == ["RL012"]
+        assert findings[0].metadata["missing"] == ["ingest epoch"]
+
+    def test_two_stage_params_alongside_epoch_are_clean(self):
+        assert one_module(
+            "RL012",
+            self.FENCED
+            % """key += (("two_stage", ("candidates", "fusion")),)
+                key += (("epoch", epoch),)""",
+        ) == []
+
     def test_key_built_by_helper_still_seen(self):
         findings = one_module(
             "RL012",
@@ -364,6 +382,11 @@ class TestRL012Corpus:
     EPOCH_LINE = re.compile(
         r"^\s*key \+= \(\("  # the epoch append, single line
         r'"epoch", staleness\["epoch"\]\),\)\n',
+        re.MULTILINE,
+    )
+    TWO_STAGE_LINE = re.compile(
+        r"^\s*key \+= \(\("  # the candidate/fusion cohort append
+        r'"two_stage", tuple\(sorted\(two_stage\.items\(\)\)\)\),\)\n',
         re.MULTILINE,
     )
 
@@ -395,6 +418,26 @@ class TestRL012Corpus:
             if "self.cache.get(key)" in line
         )
         assert findings[0].line == sink_line
+        assert findings[0].metadata["missing"] == ["ingest epoch"]
+
+    def test_two_stage_cohort_key_is_present_and_not_a_fence(self):
+        """The search key carries the candidate/fusion cohort component —
+        and removing the epoch append is still flagged with it in place,
+        because two-stage parameters never substitute for the ingest fence.
+        """
+        text = SERVICE_PY.read_text(encoding="utf-8")
+        assert len(self.TWO_STAGE_LINE.findall(text)) == 1, (
+            "the two-stage cache-key cohort append has moved"
+        )
+        mutated, count = self.EPOCH_LINE.subn("", text)
+        assert count == 1
+        assert self.TWO_STAGE_LINE.search(mutated) is not None
+        (checker,) = all_checkers(["RL012"])
+        project = Project(
+            [SourceFile.parse("src/repro/serve/service.py", mutated)]
+        )
+        findings = sorted(checker.check_project(project))
+        assert codes_of(findings) == ["RL012"]
         assert findings[0].metadata["missing"] == ["ingest epoch"]
 
 

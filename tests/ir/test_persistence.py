@@ -60,3 +60,30 @@ class TestRoundTrip:
         path.write_text(json.dumps({"version": 99, "documents": {}}))
         with pytest.raises(ValueError):
             load_index(path)
+
+
+class TestImpactBoundPersistence:
+    def test_v2_round_trips_bounds_verbatim(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        assert json.loads(path.read_text())["version"] == 2
+        restored = load_index(path)
+        assert restored.term_bounds() == index.term_bounds()
+
+    def test_saving_materializes_every_bound(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        stored = json.loads(path.read_text())["bounds"]
+        assert set(stored) == set(index.vocabulary())
+        assert stored["olap"] == [2, len("olap olap indexing")]
+
+    def test_v1_payload_loads_and_rebuilds_bounds_on_demand(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        del payload["bounds"]
+        path.write_text(json.dumps(payload))
+        restored = load_index(path)
+        assert restored.term_bound("olap") == index.term_bound("olap")
+        assert restored.term_bounds() == index.term_bounds()

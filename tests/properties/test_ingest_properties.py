@@ -145,15 +145,20 @@ class TestLiveWarmStartFixpoint:
         st.lists(st.sampled_from(_WORDS), min_size=1, max_size=3),
     )
     @settings(max_examples=10, deadline=None)
-    def test_warm_and_cold_fixpoints_bit_identical(self, graph, words):
+    def test_warm_and_cold_fixpoints_agree_to_machine_precision(self, graph, words):
         # Run to the attractor (tolerance 0): the fixpoint is a property of
         # the matrix and restart vector alone, so the renormalized carried
-        # seed must land on exactly the same floats as the cold start.
+        # seed must land on the same attractor as the cold start.  Exact
+        # bitwise equality is not attainable — at the attractor the float
+        # iteration settles into an ulp-level limit cycle (f flips the last
+        # bit back and forth), and warm and cold runs may stop on adjacent
+        # floats of that cycle — so the assertion is agreement to a few ulps,
+        # far below any tolerance-driven deviation warm-starting could cause.
         engine = LiveSearchEngine(
             graph,
             dblp_transfer_schema(),
             tolerance=0.0,
-            max_iterations=200,
+            max_iterations=2000,
         )
         query = graph.node("paper:0").attributes["title"].split()[0]
         first = engine.search(query)
@@ -162,6 +167,9 @@ class TestLiveWarmStartFixpoint:
         engine.add_edge("paper:new", "author:0", "by")
         cold = engine.search(query)
         warm = engine.search(query, previous=first)
-        assert np.array_equal(
-            np.asarray(cold.ranked.scores), np.asarray(warm.ranked.scores)
+        np.testing.assert_allclose(
+            np.asarray(cold.ranked.scores),
+            np.asarray(warm.ranked.scores),
+            rtol=1e-13,
+            atol=0.0,
         )

@@ -1,0 +1,96 @@
+"""Property tests: two-stage degenerate configs are bit-identical to the
+existing paths.
+
+The acceptance criterion of the two-stage engine: the fast paths earn trust
+by collapsing *exactly* (same floats, not approximately) onto the code they
+shortcut —
+
+* pruned top-N BM25 ≡ exhaustive BM25 top-N (same ids, same scores,
+  document-id tiebreak), for every random graph, query and N;
+* candidates ⊇ corpus with authority-only fusion ≡ focused ObjectRank2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import BM25Scorer, InvertedIndex
+from repro.query import QueryVector
+from repro.ranking import focused_objectrank2
+from repro.retrieval import exhaustive_top_n, pruned_top_n, two_stage_rank
+
+from tests.properties.strategies import dblp_transfer_graphs
+
+_WORDS = (
+    "olap", "cube", "xml", "mining", "query", "index", "stream", "rank",
+    "graph", "join", "search", "web", "view", "log",
+)
+
+
+@st.composite
+def graph_and_query(draw):
+    """A random transfer graph plus a query matching at least one document."""
+    atdg = draw(dblp_transfer_graphs())
+    index = InvertedIndex.from_graph(atdg.data_graph)
+    vocabulary = sorted(set(_WORDS) & set(index.vocabulary()))
+    terms = draw(
+        st.lists(st.sampled_from(vocabulary), min_size=1, max_size=3, unique=True)
+    )
+    weights = {
+        term: draw(st.floats(0.1, 3.0, allow_nan=False, allow_infinity=False))
+        for term in terms
+    }
+    return atdg, BM25Scorer(index), QueryVector(weights)
+
+
+@given(graph_and_query(), st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_pruned_top_n_is_bit_identical_to_exhaustive(case, n):
+    _, scorer, vector = case
+    exact = exhaustive_top_n(scorer, vector, n)
+    pruned = pruned_top_n(scorer, vector, n)
+    assert pruned.doc_ids == exact.doc_ids
+    assert [c.score for c in pruned.candidates] == [
+        c.score for c in exact.candidates
+    ]
+
+
+@given(graph_and_query(), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_degenerate_two_stage_is_bit_identical_to_focused(case, horizon):
+    atdg, scorer, vector = case
+    two_stage = two_stage_rank(
+        atdg,
+        scorer,
+        vector,
+        candidates=10_000,  # always covers the whole corpus
+        fusion="weighted",
+        fusion_weight=1.0,
+        horizon=horizon,
+    )
+    focused = focused_objectrank2(atdg, scorer, vector, horizon=horizon)
+    assert np.array_equal(two_stage.ranked.scores, focused.ranked.scores)
+    assert two_stage.ranked.base_weights == focused.ranked.base_weights
+    assert two_stage.ranked.iterations == focused.ranked.iterations
+    assert two_stage.subgraph_nodes == focused.subgraph_nodes
+    assert two_stage.subgraph_edges == focused.subgraph_edges
+
+
+@given(graph_and_query())
+@settings(max_examples=25, deadline=None)
+def test_ir_only_fusion_ranks_candidates_by_bm25(case):
+    """weighted at weight 0.0 must reproduce the stage-1 BM25 ordering."""
+    atdg, scorer, vector = case
+    result = two_stage_rank(
+        atdg, scorer, vector,
+        candidates=10_000, fusion="weighted", fusion_weight=0.0, horizon=1,
+    )
+    ranking = [
+        node_id
+        for node_id, score in result.ranked.top_k(len(result.candidate_set))
+        if score > 0
+    ]
+    by_bm25 = [c.doc_id for c in result.candidate_set.candidates if c.score > 0]
+    assert ranking == by_bm25

@@ -11,7 +11,7 @@ from repro.ranking import focused_neighborhood, focused_objectrank2, objectrank2
 class TestNeighborhood:
     def test_horizon_zero_is_seeds(self, figure1_graph):
         seeds = [figure1_graph.index_of("v1")]
-        assert focused_neighborhood(figure1_graph, seeds, 0) == seeds
+        assert list(focused_neighborhood(figure1_graph, seeds, 0)) == seeds
 
     def test_expansion_is_monotone(self, figure1_graph):
         seeds = [figure1_graph.index_of("v1")]
@@ -26,6 +26,52 @@ class TestNeighborhood:
         nodes = focused_neighborhood(figure1_graph, seeds, 10)
         # everything is connected through positive-rate edges except none
         assert len(nodes) == figure1_graph.num_nodes
+
+    def test_expand_cap_includes_but_does_not_expand_hubs(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        uncapped = set(focused_neighborhood(figure1_graph, seeds, 10))
+        capped = set(
+            focused_neighborhood(figure1_graph, seeds, 10, expand_cap=1)
+        )
+        # Capped expansion is a subset; a cap at the maximum degree is a
+        # no-op because every frontier node may still expand.
+        assert capped <= uncapped
+        max_degree = int(figure1_graph.node_degrees().max())
+        assert set(
+            focused_neighborhood(figure1_graph, seeds, 10, expand_cap=max_degree)
+        ) == uncapped
+        # Even the tightest cap keeps the seeds themselves.
+        assert set(seeds) <= capped
+        # A cap at the seed's own degree lets hop 1 run in full: hub
+        # neighbors are *included*, the cap only stops expanding through them.
+        seed_degree = int(figure1_graph.node_degrees()[seeds[0]])
+        hop1 = set(focused_neighborhood(figure1_graph, seeds, 1))
+        assert hop1 <= set(
+            focused_neighborhood(figure1_graph, seeds, 10, expand_cap=seed_degree)
+        )
+
+    def test_node_budget_deepens_until_budget_or_max_horizon(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        # A budget the graph never reaches: deepening runs to max_horizon.
+        deep = focused_neighborhood(
+            figure1_graph, seeds, 1, node_budget=10_000, max_horizon=10
+        )
+        assert list(deep) == list(focused_neighborhood(figure1_graph, seeds, 10))
+        # A budget already met by the seeds: only the guaranteed hops run.
+        shallow = focused_neighborhood(
+            figure1_graph, seeds, 1, node_budget=1, max_horizon=10
+        )
+        assert list(shallow) == list(focused_neighborhood(figure1_graph, seeds, 1))
+
+    def test_node_budget_without_max_horizon_is_fixed_horizon(self, figure1_graph):
+        seeds = [figure1_graph.index_of("v1")]
+        fixed = focused_neighborhood(figure1_graph, seeds, 2)
+        assert list(
+            focused_neighborhood(figure1_graph, seeds, 2, node_budget=10_000)
+        ) == list(fixed)
+        assert list(
+            focused_neighborhood(figure1_graph, seeds, 2, max_horizon=10)
+        ) == list(fixed)
 
 
 class TestFocusedObjectRank2:

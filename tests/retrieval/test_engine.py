@@ -1,0 +1,154 @@
+"""Unit tests for the two-stage engine (stage assembly and degeneracies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import QueryVector, SearchEngine
+from repro.ranking import focused_objectrank2, weighted_base_set
+from repro.retrieval import (
+    TwoStageEngine,
+    TwoStageSearchResult,
+    pruned_top_n,
+    restricted_base_set,
+    two_stage_rank,
+)
+
+QUERY = QueryVector({"improved": 1.0, "study": 1.0})
+EVERYTHING = 1_000_000  # candidate budget that always covers S(Q)
+
+
+@pytest.fixture(scope="module")
+def tiny_engine(dblp_tiny):
+    return SearchEngine(dblp_tiny.data_graph, dblp_tiny.transfer_schema)
+
+
+class TestRestrictedBaseSet:
+    def test_full_coverage_equals_weighted_base_set(self, tiny_engine):
+        """Candidates ⊇ S(Q) ⇒ the restricted base set IS Equation 2's."""
+        candidates = pruned_top_n(tiny_engine.scorer, QUERY, EVERYTHING)
+        restricted = restricted_base_set(tiny_engine.scorer, QUERY, candidates)
+        full = weighted_base_set(tiny_engine.scorer, QUERY)
+        assert restricted == full  # same keys, same order, same floats
+
+    def test_partial_coverage_normalizes_over_candidates_only(self, tiny_engine):
+        candidates = pruned_top_n(tiny_engine.scorer, QUERY, 5)
+        base = restricted_base_set(tiny_engine.scorer, QUERY, candidates)
+        assert set(base) == set(candidates.doc_ids)
+        assert sum(base.values()) == pytest.approx(1.0)
+        assert all(weight > 0 for weight in base.values())
+
+
+class TestTwoStageRank:
+    def test_degenerate_config_matches_focused_objectrank2(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        mine = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY,
+            candidates=EVERYTHING, fusion="weighted", fusion_weight=1.0, horizon=2,
+        )
+        focused = focused_objectrank2(
+            graph, tiny_engine.scorer, QUERY, horizon=2
+        )
+        assert np.array_equal(mine.ranked.scores, focused.ranked.scores)
+        assert mine.ranked.iterations == focused.ranked.iterations
+        assert mine.subgraph_nodes == focused.subgraph_nodes
+        assert mine.subgraph_edges == focused.subgraph_edges
+
+    def test_mixed_fusion_scores_live_on_candidates_only(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        result = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY,
+            candidates=10, fusion="rrf", horizon=2,
+        )
+        candidate_indices = {
+            graph.index_of(doc_id) for doc_id in result.candidate_set.doc_ids
+        }
+        positive = set(np.flatnonzero(result.ranked.scores > 0).tolist())
+        assert positive <= candidate_indices
+
+    def test_authority_only_scores_cover_the_neighborhood(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        result = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY, candidates=10, horizon=2
+        )
+        positive = np.flatnonzero(result.ranked.scores > 0)
+        assert len(positive) > len(result.candidate_set)
+        assert set(positive.tolist()) <= set(result.neighborhood.tolist())
+
+    def test_horizon_zero_reranks_candidates_in_isolation(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        result = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY, candidates=10, horizon=0
+        )
+        assert result.subgraph_nodes == len(result.candidate_set)
+
+    def test_early_k_converges_to_a_stable_page(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        exact = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY, candidates=20, horizon=2
+        )
+        early = two_stage_rank(
+            graph, tiny_engine.scorer, QUERY, candidates=20, horizon=2, early_k=5
+        )
+        assert early.ranked.iterations <= exact.ranked.iterations
+        top = lambda r: [n for n, _ in r.ranked.top_k(5)]  # noqa: E731
+        assert top(early) == top(exact)
+
+    def test_validation(self, tiny_engine):
+        graph = tiny_engine.transfer_view(None)
+        with pytest.raises(ValueError, match="fusion"):
+            two_stage_rank(graph, tiny_engine.scorer, QUERY, fusion="bogus")
+        with pytest.raises(ValueError, match="horizon"):
+            two_stage_rank(graph, tiny_engine.scorer, QUERY, horizon=-1)
+
+
+class TestTwoStageEngine:
+    def test_search_returns_stage_accounting(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=15)
+        result = engine.search(QUERY, top_k=5)
+        assert isinstance(result, TwoStageSearchResult)
+        assert len(result.top) == 5
+        assert result.stages is not None
+        assert result.stages.num_candidates == 15
+        assert result.stages.stage1_seconds >= 0.0
+        assert result.stages.stage2_seconds >= 0.0
+
+    def test_label_filter(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=15)
+        result = engine.search(QUERY, top_k=5, labels=("Author",))
+        data_graph = tiny_engine.data_graph
+        assert result.top
+        assert all(
+            data_graph.node(node_id).label == "Author" for node_id, _ in result.top
+        )
+
+    def test_per_call_overrides_beat_engine_defaults(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=15, fusion="weighted")
+        result = engine.search(QUERY, top_k=3, candidates=5, fusion="rrf")
+        assert result.stages.num_candidates == 5
+        assert result.stages.fusion == "rrf"
+
+    def test_string_queries_accepted(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=10)
+        assert engine.search("improved study", top_k=3).top
+
+    def test_expand_cap_shrinks_the_neighborhood(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=10, horizon=2)
+        uncapped = engine.search(QUERY, top_k=3)
+        capped = engine.search(QUERY, top_k=3, expand_cap=1)
+        assert capped.stages.subgraph_nodes <= uncapped.stages.subgraph_nodes
+
+    def test_node_budget_deepens_small_neighborhoods(self, tiny_engine):
+        engine = TwoStageEngine(tiny_engine, candidates=2, horizon=0)
+        fixed = engine.search(QUERY, top_k=3)
+        # Horizon 0 keeps only the candidates; an unreached budget deepens
+        # the expansion up to max_horizon instead.
+        adaptive = engine.search(
+            QUERY, top_k=3, node_budget=1_000_000, max_horizon=2
+        )
+        assert fixed.stages.subgraph_nodes == 2
+        assert adaptive.stages.subgraph_nodes > fixed.stages.subgraph_nodes
+        # A budget the candidates already satisfy never deepens.
+        satisfied = engine.search(QUERY, top_k=3, node_budget=1, max_horizon=2)
+        assert satisfied.stages.subgraph_nodes == fixed.stages.subgraph_nodes

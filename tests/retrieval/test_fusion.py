@@ -1,0 +1,81 @@
+"""Unit tests for IR/authority score fusion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import FUSION_MODES, fuse_scores
+
+IR = np.array([3.0, 1.0, 2.0, 0.5])
+AUTH = np.array([0.1, 0.4, 0.2, 0.3])
+
+
+class TestWeighted:
+    def test_weight_one_is_exact_authority_passthrough(self):
+        fused = fuse_scores("weighted", IR, AUTH, authority_weight=1.0)
+        assert np.array_equal(fused, AUTH)
+        assert fused is not AUTH  # a copy, never an alias
+
+    def test_weight_zero_is_exact_ir_passthrough(self):
+        fused = fuse_scores("weighted", IR, AUTH, authority_weight=0.0)
+        assert np.array_equal(fused, IR)
+        assert fused is not IR
+
+    def test_interior_weight_is_convex_combination_of_normalized(self):
+        fused = fuse_scores("weighted", IR, AUTH, authority_weight=0.25)
+        expected = 0.25 * AUTH / AUTH.sum() + 0.75 * IR / IR.sum()
+        assert np.allclose(fused, expected)
+        assert fused.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.5])
+    def test_out_of_range_weight_rejected(self, weight):
+        with pytest.raises(ValueError, match="authority_weight"):
+            fuse_scores("weighted", IR, AUTH, authority_weight=weight)
+
+
+class TestMultiplicative:
+    def test_product_of_normalized(self):
+        fused = fuse_scores("multiplicative", IR, AUTH)
+        assert np.allclose(fused, (IR / IR.sum()) * (AUTH / AUTH.sum()))
+
+    def test_zero_on_either_signal_kills_the_candidate(self):
+        fused = fuse_scores("multiplicative", np.array([1.0, 0.0]), np.array([0.5, 0.9]))
+        assert fused[1] == 0.0
+
+
+class TestRRF:
+    def test_known_ranks(self):
+        fused = fuse_scores("rrf", IR, AUTH, rrf_k=60.0)
+        # IR ranks: [1, 3, 2, 4]; authority ranks: [4, 1, 3, 2].
+        expected = 1.0 / (60.0 + np.array([4.0, 1.0, 3.0, 2.0])) + 1.0 / (
+            60.0 + np.array([1.0, 3.0, 2.0, 4.0])
+        )
+        assert np.allclose(fused, expected)
+
+    def test_tied_scores_rank_by_position(self):
+        fused = fuse_scores(
+            "rrf", np.array([1.0, 1.0]), np.array([0.0, 0.0]), rrf_k=10.0
+        )
+        # Stable argsort: earlier position wins both tied rankings.
+        assert fused[0] > fused[1]
+
+    def test_non_positive_k_rejected(self):
+        with pytest.raises(ValueError, match="rrf_k"):
+            fuse_scores("rrf", IR, AUTH, rrf_k=0.0)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fusion mode"):
+            fuse_scores("bogus", IR, AUTH)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            fuse_scores("weighted", IR, AUTH[:-1])
+
+    @pytest.mark.parametrize("mode", FUSION_MODES)
+    def test_every_mode_returns_aligned_vector(self, mode):
+        fused = fuse_scores(mode, IR, AUTH, authority_weight=0.5)
+        assert fused.shape == IR.shape
+        assert np.isfinite(fused).all()

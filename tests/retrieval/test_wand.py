@@ -1,0 +1,112 @@
+"""Unit tests for the pruned (WAND/max-score) top-N candidate generator.
+
+The load-bearing invariant: :func:`pruned_top_n` is *exact* — same ids,
+same score floats, same document-id tiebreak as :func:`exhaustive_top_n` —
+while evaluating fewer documents.  Everything downstream (restricted base
+sets, degenerate bit-identity with focused ObjectRank2) leans on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmptyBaseSetError
+from repro.ir import BM25Scorer, InvertedIndex, TfIdfScorer, UniformScorer
+from repro.query import QueryVector, SearchEngine
+from repro.retrieval import (
+    exhaustive_top_n,
+    positive_query_weights,
+    pruned_top_n,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_scorer(dblp_tiny):
+    return SearchEngine(dblp_tiny.data_graph, dblp_tiny.transfer_schema).scorer
+
+
+TINY_QUERIES = (
+    {"improved": 1.0},
+    {"improved": 1.0, "study": 1.0},
+    {"dynamic": 0.7, "evaluation": 0.3},
+    {"practical": 1.0, "effective": 2.0, "study": 0.5},
+)
+
+
+class TestPrunedEqualsExhaustive:
+    @pytest.mark.parametrize("weights", TINY_QUERIES)
+    @pytest.mark.parametrize("n", [1, 3, 10, 50, 10_000])
+    def test_same_ids_and_score_floats(self, tiny_scorer, weights, n):
+        vector = QueryVector(dict(weights))
+        exact = exhaustive_top_n(tiny_scorer, vector, n)
+        pruned = pruned_top_n(tiny_scorer, vector, n)
+        assert pruned.doc_ids == exact.doc_ids
+        for mine, theirs in zip(pruned.candidates, exact.candidates):
+            assert mine.score == theirs.score  # bit-identical, not approx
+
+    @pytest.mark.parametrize("scorer_cls", [BM25Scorer, TfIdfScorer, UniformScorer])
+    def test_every_scorer_protocol_member(self, figure1_index, scorer_cls):
+        scorer = scorer_cls(figure1_index)
+        vector = QueryVector({"olap": 1.0, "xml": 0.5})
+        exact = exhaustive_top_n(scorer, vector, 5)
+        pruned = pruned_top_n(scorer, vector, 5)
+        assert pruned.doc_ids == exact.doc_ids
+        assert [c.score for c in pruned.candidates] == [
+            c.score for c in exact.candidates
+        ]
+
+    def test_pruning_skips_evaluations(self, tiny_scorer):
+        """A dominant first term lets the gate drop the tail term's docs.
+
+        After the heavy term's accumulation pass, θ (the N-th best partial
+        score) already exceeds everything the light tail term can contribute
+        on its own, so documents appearing only in the tail postings are
+        never scored — yet the result stays exact (checked above).
+        """
+        vector = QueryVector({"improved": 5.0, "study": 0.05})
+        exact = exhaustive_top_n(tiny_scorer, vector, 1)
+        pruned = pruned_top_n(tiny_scorer, vector, 1)
+        assert pruned.doc_ids == exact.doc_ids
+        assert pruned.evaluated < exact.evaluated
+        assert pruned.pruned > 0
+        assert pruned.evaluated + pruned.pruned == exact.evaluated
+
+    def test_document_id_tiebreak(self):
+        index = InvertedIndex.from_documents(
+            [("d3", "olap cube"), ("d1", "olap cube"), ("d2", "olap cube")]
+        )
+        scorer = BM25Scorer(index)
+        vector = QueryVector({"olap": 1.0})
+        for top in (exhaustive_top_n(scorer, vector, 2), pruned_top_n(scorer, vector, 2)):
+            # Equal scores everywhere: ascending doc id decides.
+            assert top.doc_ids == ["d1", "d2"]
+
+
+class TestEdgesAndErrors:
+    def test_no_matching_document_raises(self, tiny_scorer):
+        with pytest.raises(EmptyBaseSetError):
+            pruned_top_n(tiny_scorer, QueryVector({"zzzmissing": 1.0}), 5)
+        with pytest.raises(EmptyBaseSetError):
+            exhaustive_top_n(tiny_scorer, QueryVector({"zzzmissing": 1.0}), 5)
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_non_positive_n_rejected(self, tiny_scorer, n):
+        with pytest.raises(ValueError):
+            pruned_top_n(tiny_scorer, QueryVector({"improved": 1.0}), n)
+        with pytest.raises(ValueError):
+            exhaustive_top_n(tiny_scorer, QueryVector({"improved": 1.0}), n)
+
+    def test_zero_weight_terms_ignored(self, tiny_scorer):
+        with_noise = QueryVector({"improved": 1.0, "study": 0.0})
+        clean = QueryVector({"improved": 1.0})
+        noisy = pruned_top_n(tiny_scorer, with_noise, 5)
+        assert noisy.doc_ids == pruned_top_n(tiny_scorer, clean, 5).doc_ids
+
+    def test_positive_query_weights_filters(self):
+        vector = QueryVector({"a": 1.0, "b": 0.0})
+        assert positive_query_weights(vector) == {"a": 1.0}
+
+    def test_candidate_set_container_protocol(self, tiny_scorer):
+        candidates = pruned_top_n(tiny_scorer, QueryVector({"improved": 1.0}), 4)
+        assert len(candidates) == len(candidates.doc_ids) == 4
+        assert [c.doc_id for c in candidates] == candidates.doc_ids

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.query",
     "repro.ranking",
     "repro.reformulate",
+    "repro.retrieval",
     "repro.search",
     "repro.storage",
     "repro.store",
