@@ -44,6 +44,20 @@ REPEATS = 3
 #: path is exercised even on single-CPU runners (where the speedup line
 #: will honestly read < 1x).
 JOBS = max(2, min(4, os.cpu_count() or 1))
+#: A serial smoke run slower than this factor times the recorded wall
+#: time in ``benchmarks/results/lint.txt`` fails CI — a checker that
+#: quietly went quadratic shows up here, not in a user's pre-commit hook.
+REGRESSION_FACTOR = 2.0
+#: Never fail the regression gate under this floor — recorded times from a
+#: fast machine must not make a slow-but-fine CI runner red.
+REGRESSION_FLOOR_SECONDS = 3.0
+
+#: The abstract-interpretation rule groups, timed separately so the
+#: results file shows what each *domain* costs on top of parse + graph.
+_DOMAIN_GROUPS = [
+    ("taint domain (RL014)", ["RL014"]),
+    ("value domain (RL015-RL017)", ["RL015", "RL016", "RL017"]),
+]
 
 
 def _same_report(serial, parallel) -> bool:
@@ -91,6 +105,19 @@ def run_benchmark() -> str:
             (code, time.perf_counter() - started, len(only.findings))
         )
 
+    per_domain: list[tuple[str, float, int]] = []
+    for label, codes in _DOMAIN_GROUPS:
+        group = [code for code in codes if code in report.checker_codes]
+        if not group:
+            continue
+        started = time.perf_counter()
+        only = run_lint(
+            [src], checkers=all_checkers(group), root=REPO_ROOT
+        )
+        per_domain.append(
+            (label, time.perf_counter() - started, len(only.findings))
+        )
+
     phases = _phase_breakdown(src)
 
     lines = [
@@ -108,6 +135,12 @@ def run_benchmark() -> str:
     ]
     for label, seconds in phases:
         lines.append(f"    {label:<22}: {seconds * 1000:7.1f} ms")
+    lines.append("  per-domain (full pass with only that domain's rules):")
+    for label, seconds, raw_findings in per_domain:
+        lines.append(
+            f"    {label:<30}: {seconds * 1000:7.1f} ms   "
+            f"{raw_findings} non-baselined finding(s)"
+        )
     lines.append("  per-checker (full pass incl. parse & project build):")
     for code, seconds, raw_findings in per_checker:
         lines.append(
@@ -146,13 +179,29 @@ def _phase_breakdown(src: Path) -> list[tuple[str, float]]:
     ]
 
 
+def _recorded_serial_seconds() -> float | None:
+    """The serial wall time recorded in ``benchmarks/results/lint.txt``."""
+    results = REPO_ROOT / "benchmarks" / "results" / "lint.txt"
+    try:
+        for line in results.read_text().splitlines():
+            if "wall time (serial)" in line:
+                return float(line.split(":")[1].split("ms")[0]) / 1000.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
 def run_smoke() -> str:
     """One serial + one parallel pass; assert byte-identical, within budget.
 
     The identity check renders both reports to SARIF (the format CI
     uploads, and the only one carrying no wall-clock timings) and compares
-    the strings — covering the summary-dependent RL010–RL013 results and
-    their ``codeFlows``, not just the finding lists.
+    the strings — covering the summary-dependent RL010–RL017 results and
+    their ``codeFlows``, not just the finding lists.  The serial pass is
+    also held against the *recorded* benchmark result: slower than
+    ``REGRESSION_FACTOR`` times ``benchmarks/results/lint.txt`` fails, so
+    a checker that quietly regressed the runtime budget turns CI red
+    before it lands.
     """
     from repro.analysis import render
 
@@ -160,6 +209,7 @@ def run_smoke() -> str:
     src = REPO_ROOT / "src"
     started = time.perf_counter()
     serial = run_lint([src], baseline=baseline, root=REPO_ROOT)
+    serial_elapsed = time.perf_counter() - started
     parallel = run_lint([src], baseline=baseline, root=REPO_ROOT, jobs=JOBS)
     elapsed = time.perf_counter() - started
     assert _same_report(serial, parallel), "parallel lint diverged from serial"
@@ -167,10 +217,25 @@ def run_smoke() -> str:
         "parallel SARIF log is not byte-identical to serial"
     )
     assert elapsed < 2 * BUDGET_SECONDS, f"smoke pass took {elapsed:.1f}s"
+    recorded = _recorded_serial_seconds()
+    budget_note = ""
+    if recorded is not None:
+        allowed = max(
+            REGRESSION_FACTOR * recorded, REGRESSION_FLOOR_SECONDS
+        )
+        assert serial_elapsed < allowed, (
+            f"serial lint took {serial_elapsed:.2f}s — more than "
+            f"{REGRESSION_FACTOR:.0f}x the recorded {recorded:.2f}s "
+            "(benchmarks/results/lint.txt); rerun the benchmark if the "
+            "slowdown is intentional"
+        )
+        budget_note = (
+            f", serial {serial_elapsed:.2f}s within {allowed:.1f}s budget"
+        )
     return (
         f"lint smoke OK: {serial.files_scanned} files, "
         f"{len(serial.findings)} new finding(s), serial == --jobs {JOBS} "
-        f"byte-identical, {elapsed:.2f}s total"
+        f"byte-identical, {elapsed:.2f}s total{budget_note}"
     )
 
 

@@ -34,6 +34,9 @@ class SourceFile:
     #: graph construction, and flow-sensitive checkers share one graph per
     #: function instead of rebuilding it per rule.
     _cfgs: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Per-domain dataflow solution caches (same lifetime/idiom as ``_cfgs``)
+    #: so RL015 and RL017 share one value-domain solve per function.
+    _solutions: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def parse(cls, path: str, text: str) -> "SourceFile":
@@ -61,6 +64,10 @@ class SourceFile:
             cfg = build_cfg(func)
             self._cfgs[id(func)] = cfg
         return cfg
+
+    def solution_cache(self, domain: str) -> dict:
+        """The per-function solution cache of one abstract domain."""
+        return self._solutions.setdefault(domain, {})
 
 
 class Checker:

@@ -246,6 +246,11 @@ class Project:
             self._summaries = compute_summaries(self)
         return self._summaries
 
+    def adopt_summaries(self, index) -> None:
+        """Install a precomputed :class:`SummaryIndex` (the lint cache's
+        fast path), skipping the fixpoint entirely."""
+        self._summaries = index
+
     def source_for(self, path: str) -> SourceFile | None:
         for source in self.sources:
             if source.path == path:

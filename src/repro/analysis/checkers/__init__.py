@@ -1,4 +1,4 @@
-"""Built-in checkers; importing this package registers RL001–RL013.
+"""Built-in checkers; importing this package registers RL001–RL017.
 
 ============ ========================== =====================================
 Code         Name                       Hazard class
@@ -31,15 +31,26 @@ Code         Name                       Hazard class
                                         fingerprint or ingest-epoch component
 ``RL013``    blocking-under-lock        I/O, subprocess, sleep or fixpoint
                                         solve reachable while a lock is held
+``RL014``    wire-input-to-sink         wire-parsed input reaching an index/
+                                        offset/path/rate sink unvalidated
+``RL015``    zero-denominator           division by an accumulated total or
+                                        ``len()`` not provably non-zero
+``RL016``    rate-out-of-range          damping/rate/epsilon argument whose
+                                        interval is provably out of range
+``RL017``    index-out-of-bounds        index/offset into slab/array storage
+                                        provably negative or past the length
 ============ ========================== =====================================
 
 RL001–RL006 are per-node AST visitors; RL007–RL009 are flow-sensitive — they
 consume the per-function CFGs of :mod:`repro.analysis.cfg` through the
-fixpoint solver of :mod:`repro.analysis.dataflow`.  RL010–RL013 are
-*interprocedural* (:class:`~repro.analysis.base.ProjectChecker`) — the
+fixpoint solver of :mod:`repro.analysis.dataflow`.  RL010–RL014 and RL016
+are *interprocedural* (:class:`~repro.analysis.base.ProjectChecker`) — the
 runner builds one :class:`~repro.analysis.callgraph.Project` (call graph +
 bottom-up :mod:`~repro.analysis.summaries`) and runs them once over the
-whole file set, serially, after the per-file phase.
+whole file set, serially, after the per-file phase.  RL015 and RL017 are
+per-file instances of the abstract interpreter
+(:mod:`repro.analysis.absint`): they share one value-domain solve per
+function through :meth:`~repro.analysis.base.SourceFile.solution_cache`.
 """
 
 from repro.analysis.checkers.blocking_under_lock import BlockingUnderLockChecker
@@ -48,13 +59,17 @@ from repro.analysis.checkers.cache_latch import CacheLatchChecker
 from repro.analysis.checkers.duplicate_index import DuplicateIndexWriteChecker
 from repro.analysis.checkers.fixpoint_loops import FixpointLoopChecker
 from repro.analysis.checkers.float_equality import FloatEqualityChecker
+from repro.analysis.checkers.index_bounds import IndexBoundsChecker
 from repro.analysis.checkers.interprocedural_locks import InterproceduralLockChecker
 from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
 from repro.analysis.checkers.lockset_discipline import LocksetDisciplineChecker
+from repro.analysis.checkers.numeric_ranges import NumericRangeChecker
 from repro.analysis.checkers.param_mutation import ParamMutationChecker
 from repro.analysis.checkers.rate_invariants import RateInvariantChecker
 from repro.analysis.checkers.resource_lifecycle import ResourceLifecycleChecker
 from repro.analysis.checkers.use_after_invalidate import UseAfterInvalidateChecker
+from repro.analysis.checkers.wire_taint import WireTaintChecker
+from repro.analysis.checkers.zero_denominator import ZeroDenominatorChecker
 
 __all__ = [
     "BlockingUnderLockChecker",
@@ -63,11 +78,15 @@ __all__ = [
     "DuplicateIndexWriteChecker",
     "FixpointLoopChecker",
     "FloatEqualityChecker",
+    "IndexBoundsChecker",
     "InterproceduralLockChecker",
     "LockDisciplineChecker",
     "LocksetDisciplineChecker",
+    "NumericRangeChecker",
     "ParamMutationChecker",
     "RateInvariantChecker",
     "ResourceLifecycleChecker",
     "UseAfterInvalidateChecker",
+    "WireTaintChecker",
+    "ZeroDenominatorChecker",
 ]

@@ -49,10 +49,16 @@ def render_text(report: LintReport) -> str:
             lines.append(f"    suggestion: {finding.suggestion}")
     for path, error in report.parse_errors:
         lines.append(f"{path}: parse error: {error}")
+    cache_note = (
+        f", summary cache {report.summary_cache}"
+        if report.summary_cache
+        else ""
+    )
     lines.append(
         f"{len(report.findings)} finding(s) in {report.files_scanned} file(s) "
         f"[{report.elapsed_seconds:.2f}s; "
-        f"{len(report.baselined)} baselined, {len(report.suppressed)} pragma-suppressed]"
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} pragma-suppressed{cache_note}]"
     )
     counts = report.counts_by_code()
     if counts:

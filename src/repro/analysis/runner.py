@@ -38,6 +38,12 @@ class LintReport:
     #: ``project-build`` (parse-all + call graph + summaries) and
     #: ``project-check`` (interprocedural checkers) when any ran.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: SCC fixpoint rounds the project phase ran *this* run.  Zero when the
+    #: summary cache hit (or no project checker ran) — the acceptance
+    #: criterion for a no-op ``--changed`` run.
+    fixpoint_rounds: int = 0
+    #: ``"hit"``/``"miss"`` when a cache path was given, else ``""``.
+    summary_cache: str = ""
 
     @property
     def clean(self) -> bool:
@@ -121,6 +127,7 @@ def run_lint(
     root: str | Path | None = None,
     jobs: int | None = None,
     scope: set[str] | None = None,
+    cache: str | Path | None = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) and return the full report.
 
@@ -146,6 +153,12 @@ def run_lint(
     are *linted and reported* — ``repro lint --changed`` uses it — while the
     project phase still parses everything, so summaries of unchanged
     helpers stay visible to the checkers.
+
+    ``cache`` names a file persisting the interprocedural summary index
+    between runs, keyed on per-file content hashes (see
+    :mod:`~repro.analysis.summary_cache`).  On a full match the project
+    phase skips the summary fixpoint entirely (``report.fixpoint_rounds``
+    stays 0); on any mismatch it recomputes and rewrites the cache.
     """
     started = time.perf_counter()
     active = checkers if checkers is not None else all_checkers()
@@ -194,7 +207,7 @@ def run_lint(
 
     if project_checkers:
         _run_project_phase(
-            report, files, scope, project_checkers, keep
+            report, files, scope, project_checkers, keep, cache
         )
 
     report.findings.sort()
@@ -210,6 +223,7 @@ def _run_project_phase(
     scope: set[str] | None,
     project_checkers: list[Checker],
     keep,
+    cache: str | Path | None = None,
 ) -> None:
     """Build the whole-program context and run the interprocedural checkers.
 
@@ -220,12 +234,30 @@ def _run_project_phase(
     pragma silences findings in that file, it does not falsify summaries).
     """
     from repro.analysis.callgraph import Project
+    from repro.analysis.summaries import SummaryIndex
+    from repro.analysis.summary_cache import (
+        file_hashes,
+        load_summaries,
+        store_summaries,
+    )
 
     phase_started = time.perf_counter()
+    hashes = file_hashes(files) if cache is not None else {}
     project = Project.from_paths(
         [(str(path), display) for path, display in files]
     )
-    summaries = project.summaries()  # noqa: F841  (forces the build here)
+    cached = load_summaries(cache, hashes) if cache is not None else None
+    if cached is not None:
+        index = SummaryIndex(project)
+        index.by_id = cached["by_id"]
+        index.converged = cached["converged"]
+        project.adopt_summaries(index)
+        report.summary_cache = "hit"
+    summaries = project.summaries()  # builds here unless the cache hit
+    report.fixpoint_rounds = sum(summaries.scc_rounds)
+    if cache is not None and cached is None:
+        store_summaries(cache, hashes, summaries)
+        report.summary_cache = "miss"
     report.phase_seconds["project-build"] = (
         time.perf_counter() - phase_started
     )

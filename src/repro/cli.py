@@ -390,17 +390,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if jobs == 0:
         jobs = os.cpu_count() or 1
     scope = None
+    cache = None
     if args.changed:
-        scope = _changed_python_files()
+        scope, checkout_root = _changed_python_files()
         if scope is None:
             print(
                 "repro lint: --changed needs a git checkout; "
                 "linting everything",
                 file=sys.stderr,
             )
+        else:
+            # A --changed run is the incremental workflow: persist the
+            # interprocedural summary index next to the checkout so a
+            # no-op rerun skips the project-phase fixpoint entirely.
+            from repro.analysis.summary_cache import CACHE_FILENAME
+
+            cache = checkout_root / CACHE_FILENAME
     report = run_lint(
         args.paths, checkers=checkers, baseline=baseline, jobs=jobs,
-        scope=scope,
+        scope=scope, cache=cache,
     )
 
     if args.write_baseline:
@@ -416,14 +424,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
-def _changed_python_files() -> set[str] | None:
-    """Cwd-relative names of ``.py`` files with uncommitted changes.
+def _changed_python_files() -> "tuple[set[str] | None, Path | None]":
+    """``(changed files, checkout root)`` for a ``--changed`` lint run.
 
-    Asks ``git status --porcelain`` (worktree + index vs HEAD, renames
-    resolved to their new name) so a pre-commit ``repro lint --changed``
-    covers exactly what the commit would ship.  Returns ``None`` when git
-    is unavailable or the cwd is not inside a work tree — the caller falls
-    back to a full run rather than silently linting nothing.
+    The first element holds cwd-relative names of ``.py`` files with
+    uncommitted changes; the second the git toplevel (where the summary
+    cache lives).  Asks ``git status --porcelain`` (worktree + index vs
+    HEAD, renames resolved to their new name) so a pre-commit
+    ``repro lint --changed`` covers exactly what the commit would ship.
+    ``--untracked-files=all`` expands untracked *directories* into their
+    files — by default git collapses a new package to ``?? pkg/`` and
+    every module inside it would silently escape the lint.  Returns
+    ``(None, None)`` when git is unavailable or the cwd is not inside a
+    work tree — the caller falls back to a full run rather than silently
+    linting nothing.
     """
     import subprocess
     from pathlib import Path
@@ -434,11 +448,11 @@ def _changed_python_files() -> set[str] | None:
             capture_output=True, text=True, check=True,
         ).stdout.strip()
         status = subprocess.run(
-            ["git", "status", "--porcelain"],
+            ["git", "status", "--porcelain", "--untracked-files=all"],
             capture_output=True, text=True, check=True,
         ).stdout
     except (OSError, subprocess.CalledProcessError):
-        return None
+        return None, None
     changed: set[str] = set()
     root = Path(toplevel)
     cwd = Path.cwd().resolve()
@@ -455,7 +469,7 @@ def _changed_python_files() -> set[str] | None:
         except ValueError:
             continue  # changed file outside the directory being linted
         changed.add(display)
-    return changed
+    return changed, root
 
 
 def cmd_serve(args: argparse.Namespace) -> int:

@@ -148,6 +148,8 @@ def train_transfer_rates(
             vectors.append(system.current_rates.as_vector(order))
         session_vectors.append(vectors)
 
+    if not session_vectors:
+        raise ValueError("feedback training needs at least one query session")
     curve = TrainingCurve(adjustment_factor=adjustment_factor)
     num_sessions = len(session_vectors)
     for step in range(iterations + 1):

@@ -494,7 +494,7 @@ def batched_objectrank(
     results = []
     for j, base_nodes in enumerate(base_sets):
         column = outcome.column(j)
-        uniform = 1.0 / len(base_nodes)
+        uniform = 1.0 / len(base_nodes)  # repro-lint: ignore[RL015] every base set was rejected as EmptyBaseSetError in the build loop above
         results.append(
             RankedResult(
                 node_ids=graph.node_ids,

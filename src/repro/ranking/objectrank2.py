@@ -50,6 +50,11 @@ def weighted_base_set(scorer: Scorer, query_vector: QueryVector) -> dict[str, fl
     floor = min(positive) if positive else 1.0
     adjusted = {doc_id: (w if w > 0 else floor) for doc_id, w in raw.items()}
     total = sum(adjusted.values())
+    # Every adjusted weight is strictly positive, so with a non-empty base
+    # set the sum is too; ``<= 0.0`` keeps the (theoretical) subnormal
+    # underflow from dividing below, same guard as PrecomputedRanker.
+    if total <= 0.0:
+        raise EmptyBaseSetError(tuple(terms))
     return {doc_id: w / total for doc_id, w in adjusted.items()}
 
 

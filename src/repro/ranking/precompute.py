@@ -234,8 +234,11 @@ class PrecomputedRanker:
         # total_weight accumulates strictly positive blend weights, so "no
         # cached keyword matched" is exactly total_weight <= 0.0 — an exact
         # == 0.0 would miss a (theoretical) underflow-to-subnormal sum and
-        # then divide by it below.
-        if total_weight <= 0.0:
+        # then divide by it below.  considered_weight can only be zero when
+        # total_weight is (a term contributes to the latter only after the
+        # former), so the second disjunct never changes behavior — it makes
+        # the coverage division's guard locally checkable.
+        if total_weight <= 0.0 or considered_weight <= 0.0:
             raise EmptyBaseSetError(tuple(query_vector.terms))
         coverage = covered_weight / considered_weight
         if coverage < self.min_coverage:

@@ -59,6 +59,10 @@ class TopicSensitiveRanker:
         if not known:
             raise ValueError("no known topic with positive weight")
         total = sum(known.values())
+        # ``known`` is non-empty with strictly positive weights, so the sum
+        # is positive; the guard makes that invariant locally checkable.
+        if total <= 0.0:
+            raise ValueError("no known topic with positive weight")
         blended = np.zeros(self.graph.num_nodes)
         for topic, weight in known.items():
             blended += (weight / total) * self._topic_vectors[topic]

@@ -92,6 +92,10 @@ def restricted_base_set(
     floor = min(positive) if positive else 1.0
     adjusted = {doc_id: (w if w > 0 else floor) for doc_id, w in raw.items()}
     total = sum(adjusted.values())
+    # Adjusted weights are strictly positive, so only an empty candidate
+    # overlap sums to zero — and then there is nothing to normalize.
+    if total <= 0.0:
+        return {}
     return {doc_id: w / total for doc_id, w in adjusted.items()}
 
 

@@ -131,8 +131,11 @@ class MmapScoreRanker:
             total_weight += blend_weight
             matched[term] = blend_weight
         # Same guard as PrecomputedRanker: strictly positive accumulation,
-        # <= 0.0 instead of == 0.0 so a subnormal sum cannot divide below.
-        if total_weight <= 0.0:
+        # <= 0.0 instead of == 0.0 so a subnormal sum cannot divide below,
+        # and the considered_weight disjunct (implied by the first — terms
+        # feed total_weight only after considered_weight) keeps the
+        # coverage division locally provable.
+        if total_weight <= 0.0 or considered_weight <= 0.0:
             raise EmptyBaseSetError(tuple(query_vector.terms))
         coverage = covered_weight / considered_weight
         if coverage < self.min_coverage:

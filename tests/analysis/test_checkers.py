@@ -24,11 +24,11 @@ def codes_of(findings):
 
 
 class TestRegistry:
-    def test_all_thirteen_rules_registered(self):
+    def test_all_seventeen_rules_registered(self):
         assert checker_codes() == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
             "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
-            "RL013",
+            "RL013", "RL014", "RL015", "RL016", "RL017",
         ]
 
     def test_unknown_code_rejected(self):

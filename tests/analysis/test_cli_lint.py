@@ -138,12 +138,63 @@ class TestChangedScope:
         assert main(["lint", ".", "--changed", "--no-baseline"]) == 1
         assert "fresh.py" in capsys.readouterr().out
 
+    def test_untracked_package_is_expanded_to_its_files(
+        self, checkout, monkeypatch, capsys
+    ):
+        """Plain porcelain collapses a new directory to ``?? pkg/``; the
+        scope must still see the modules inside it."""
+        package = checkout / "newpkg"
+        package.mkdir()
+        (package / "__init__.py").write_text("")
+        (package / "bad.py").write_text(
+            "def f(rates):\n    rates['x'] = 1.0\n    return rates\n"
+        )
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py" in out
+        assert "2 file(s)" in out  # __init__.py and bad.py, nothing else
+
+    def test_rename_is_linted_under_its_new_name(
+        self, checkout, monkeypatch, capsys
+    ):
+        (checkout / "dirty.py").write_text(
+            "def f(rates):\n    rates['x'] = 1.0\n    return rates\n"
+        )
+        self._git("add", "dirty.py", cwd=checkout)
+        self._git("mv", "dirty.py", "renamed.py", cwd=checkout)
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "renamed.py" in out
+        assert "dirty.py" not in out
+
     def test_no_changes_means_an_empty_clean_run(
         self, checkout, monkeypatch, capsys
     ):
         monkeypatch.chdir(checkout)
         assert main(["lint", ".", "--changed", "--no-baseline"]) == 0
         assert "0 file(s)" in capsys.readouterr().out
+
+    def test_noop_rerun_skips_the_summary_fixpoint(
+        self, checkout, monkeypatch, capsys
+    ):
+        """Acceptance criterion: a no-op ``--changed`` rerun performs zero
+        project-phase fixpoint iterations — the summary index comes off
+        disk, so ``compute_summaries`` must never be called."""
+        import repro.analysis.summaries as summaries_module
+
+        monkeypatch.chdir(checkout)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 0
+        assert "summary cache miss" in capsys.readouterr().out
+        assert (checkout / ".repro-lint-cache").exists()
+
+        def boom(project):
+            raise AssertionError("fixpoint ran on a no-op rerun")
+
+        monkeypatch.setattr(summaries_module, "compute_summaries", boom)
+        assert main(["lint", ".", "--changed", "--no-baseline"]) == 0
+        assert "summary cache hit" in capsys.readouterr().out
 
     def test_outside_a_checkout_falls_back_to_a_full_run(
         self, tmp_path, monkeypatch, capsys

@@ -169,7 +169,7 @@ class TestSarifReporter:
         driver = run["tool"]["driver"]
         assert driver["name"] == "repro-lint"
         codes = [rule["id"] for rule in driver["rules"]]
-        assert codes == [f"RL{i:03d}" for i in range(1, 14)]
+        assert codes == [f"RL{i:03d}" for i in range(1, 18)]
         assert all(rule["shortDescription"]["text"] for rule in driver["rules"])
 
     def test_results_carry_location_and_fingerprint(self, sarif):
@@ -259,12 +259,16 @@ class TestRepositorySelfLint:
 
     def test_src_is_clean_with_an_empty_baseline_and_all_rules(self):
         """The self-lint gate: nothing hides behind the baseline — the
-        interprocedural RL010–RL013 included."""
+        interprocedural RL010–RL013 and the abstract-interpretation
+        RL014–RL017 included."""
         report = run_lint(
             [REPO_ROOT / "src"], baseline=Baseline(), root=REPO_ROOT
         )
-        assert len(report.checker_codes) == 13
+        assert len(report.checker_codes) == 17
         assert {"RL010", "RL011", "RL012", "RL013"} <= set(
+            report.checker_codes
+        )
+        assert {"RL014", "RL015", "RL016", "RL017"} <= set(
             report.checker_codes
         )
         assert report.findings == [], render(report, "text")
@@ -432,3 +436,89 @@ class TestProjectPhase:
         assert all(step["location"]["message"]["text"] for step in steps)
         # the chain was promoted out of properties: no duplication
         assert "call_chain" not in result.get("properties", {})
+
+
+class TestSarifValidator:
+    """``scripts/validate_sarif.py`` — the offline shape check CI runs
+    before uploading the log to code scanning."""
+
+    @staticmethod
+    def _validator():
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "validate_sarif", REPO_ROOT / "scripts" / "validate_sarif.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @pytest.fixture
+    def payload(self, messy_tree):
+        report = run_lint([messy_tree / "pkg"], root=messy_tree)
+        return json.loads(render(report, "sarif"))
+
+    def test_rendered_log_is_valid(self, payload):
+        assert self._validator().validate(payload) == []
+
+    def test_log_with_code_flows_is_valid(self, tmp_path):
+        import textwrap
+
+        module = tmp_path / "handler.py"
+        module.write_text(
+            textwrap.dedent(
+                """
+                def save(path):
+                    return open(path)
+
+                class Handler:
+                    def do_POST(self):
+                        body = self._read_json_body()
+                        save(body["path"])
+                """
+            )
+        )
+        report = run_lint([module], baseline=Baseline(), root=tmp_path)
+        payload = json.loads(render(report, "sarif"))
+        assert any(
+            "codeFlows" in result
+            for run in payload["runs"]
+            for result in run["results"]
+        )
+        assert self._validator().validate(payload) == []
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda p: p.update(version="2.0.0"), "version"),
+            (lambda p: p.update(runs=[]), "runs"),
+            (
+                lambda p: p["runs"][0]["results"][0].pop("message"),
+                "message.text",
+            ),
+            (
+                lambda p: p["runs"][0]["results"][0].update(ruleId="RL999"),
+                "not in tool.driver.rules",
+            ),
+            (
+                lambda p: p["runs"][0]["results"][0]["locations"][0][
+                    "physicalLocation"
+                ]["region"].update(startLine=0),
+                "startLine",
+            ),
+        ],
+    )
+    def test_broken_logs_are_rejected(self, payload, mutate, fragment):
+        mutate(payload)
+        errors = self._validator().validate(payload)
+        assert errors and any(fragment in error for error in errors)
+
+    def test_cli_entry_exit_codes(self, payload, tmp_path, capsys):
+        validator = self._validator()
+        log = tmp_path / "log.sarif"
+        log.write_text(json.dumps(payload))
+        assert validator.main([str(log)]) == 0
+        assert "valid SARIF 2.1.0" in capsys.readouterr().out
+        log.write_text("{")
+        assert validator.main([str(log)]) == 1
+        assert validator.main([]) == 2

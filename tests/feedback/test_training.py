@@ -70,3 +70,9 @@ class TestConfigurationEffects:
         stripped = dataclasses.replace(dblp_tiny, ground_truth_rates=None)
         with pytest.raises(ValueError):
             train_transfer_rates(stripped, ["olap"], 0.5, iterations=1)
+
+    def test_no_queries_rejected(self, dblp_tiny):
+        """Zero sessions used to divide by zero when averaging the curve;
+        now it fails fast with a clear message."""
+        with pytest.raises(ValueError, match="at least one query session"):
+            train_transfer_rates(dblp_tiny, [], 0.5, iterations=1)
